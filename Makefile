@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench vet fmt experiments figures clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table and figure of the paper (plus extensions).
+experiments:
+	go run ./cmd/obmsim -exp all
+
+# Write the figure SVGs into figs/.
+figures:
+	go run ./cmd/obmsim -exp fig3,fig4,fig8,fig9,fig10,fig12,loadsweep -svgdir figs
+
+clean:
+	rm -rf figs results.csv

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obm/internal/workload"
+)
+
+func TestDefaultRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-config", "C1", "-algo", "global,sss"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Global") || !strings.Contains(out, "SSS") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestGridOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-config", "C2", "-algo", "sss", "-grid"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "app 1") {
+		t.Error("per-app APLs missing")
+	}
+}
+
+func TestParsecMixAndTorus(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-parsec", "blackscholes,canneal,x264,ferret", "-algo", "sss", "-torus"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+}
+
+func TestWorkloadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteJSON(f, workload.MustConfig("C3")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", path, "-algo", "greedy"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-algo", "quantum"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown algorithm accepted")
+	}
+	if code := run([]string{"-config", "C77"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown config accepted")
+	}
+	if code := run([]string{"-parsec", "doom"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown benchmark accepted")
+	}
+	if code := run([]string{"-workload", "/nope.json"}, &stdout, &stderr); code == 0 {
+		t.Error("missing workload file accepted")
+	}
+	if code := run([]string{"-n", "0"}, &stdout, &stderr); code == 0 {
+		t.Error("zero mesh accepted")
+	}
+}
+
+func TestCapacityFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// Two configs of apps won't fit at capacity 1; the flag doubles slots.
+	code := run([]string{"-parsec", "canneal,x264,dedup,vips,ferret,facesim,raytrace,bodytrack",
+		"-capacity", "2", "-n", "4", "-algo", "sss"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "SSS") {
+		t.Errorf("output: %s", stdout.String())
+	}
+}

@@ -1,0 +1,120 @@
+// Command obmsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	obmsim -exp table1            # one experiment
+//	obmsim -exp all               # everything, in order
+//	obmsim -list                  # show available experiments
+//	obmsim -exp fig9 -configs C1,C2 -quick -csv out.csv
+//	obmsim -exp fig3,fig9 -svgdir figs   # also write SVG figures
+//
+// Each experiment prints a paper-style table or grid; -csv additionally
+// writes machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"obm/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main so the tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("exp", "", "experiment ID (see -list), or 'all'")
+		list    = fs.Bool("list", false, "list available experiments")
+		quick   = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		configs = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
+		csvPath = fs.String("csv", "", "also write CSV output to this file")
+		svgDir  = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Fprintf(stdout, "  %-9s %s\n", r.ID(), r.Title())
+		}
+		return 0
+	}
+	if *exp == "" {
+		fmt.Fprintln(stderr, "obmsim: -exp required (or -list); e.g. obmsim -exp table1")
+		return 2
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *configs != "" {
+		opts.Configs = strings.Split(*configs, ",")
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			r, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(stderr, "obmsim:", err)
+				return 2
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	var csv strings.Builder
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "obmsim: %s: %v\n", r.ID(), err)
+			return 1
+		}
+		fmt.Fprint(stdout, res.Render())
+		fmt.Fprintf(stdout, "[%s in %v]\n", r.ID(), time.Since(start).Round(time.Millisecond))
+		if *csvPath != "" {
+			fmt.Fprintf(&csv, "# %s: %s\n%s", r.ID(), r.Title(), res.CSV())
+		}
+		if *svgDir != "" {
+			if fig, ok := res.(experiments.Figurer); ok {
+				if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+					fmt.Fprintln(stderr, "obmsim:", err)
+					return 1
+				}
+				for stem, svg := range fig.SVGFigures() {
+					path := filepath.Join(*svgDir, stem+".svg")
+					if err := os.WriteFile(path, svg, 0o644); err != nil {
+						fmt.Fprintln(stderr, "obmsim:", err)
+						return 1
+					}
+					fmt.Fprintf(stdout, "wrote %s\n", path)
+				}
+			}
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "obmsim: writing csv:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "CSV written to %s\n", *csvPath)
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	for _, want := range []string{"table1", "fig9", "validate", "gap", "topology"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestRunFig5WithCSVAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	svg := filepath.Join(dir, "figs")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig5,fig3", "-quick", "-csv", csv, "-svgdir", svg}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "10.3375") {
+		t.Error("fig5 numbers missing from output")
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fig5") {
+		t.Error("csv missing experiment header")
+	}
+	figs, err := filepath.Glob(filepath.Join(svg, "*.svg"))
+	if err != nil || len(figs) == 0 {
+		t.Errorf("no SVGs written: %v %v", figs, err)
+	}
+}
+
+func TestRunWithConfigSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig9", "-quick", "-configs", "C1,C2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "C1") || !strings.Contains(out, "C2") {
+		t.Error("requested configs missing")
+	}
+	if strings.Contains(out, "C5") {
+		t.Error("unrequested config present")
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code == 0 {
+		t.Error("missing -exp accepted")
+	}
+	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown experiment accepted")
+	}
+	if code := run([]string{"-badflag"}, &stdout, &stderr); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

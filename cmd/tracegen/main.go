@@ -1,0 +1,112 @@
+// Command tracegen generates, inspects and converts workload traces.
+//
+// Usage:
+//
+//	tracegen -config C1 -cycles 100000 -out c1.trace          # binary
+//	tracegen -config C3 -cycles 50000 -format json -out c3.jsonl
+//	tracegen -inspect c1.trace                                 # summary + recovered rates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"obm/internal/stats"
+	"obm/internal/trace"
+	"obm/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main so the tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		config  = fs.String("config", "C1", "paper configuration C1..C8")
+		cycles  = fs.Uint64("cycles", 100_000, "trace length in cycles")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		format  = fs.String("format", "binary", "output format: binary or json")
+		out     = fs.String("out", "", "output file (default <config>.trace)")
+		inspect = fs.String("inspect", "", "inspect an existing trace instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *inspect != "" {
+		if err := inspectTrace(stdout, *inspect); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		return 0
+	}
+
+	w, err := workload.Config(*config)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+	h, events, err := trace.Generate(w, *cycles, 2000, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	path := *out
+	if path == "" {
+		path = *config + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(f, h, events)
+	case "json":
+		err = trace.WriteJSON(f, h, events)
+	default:
+		err = fmt.Errorf("unknown format %q (want binary or json)", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %d events over %d cycles for %d threads (%s)\n",
+		path, len(events), h.Cycles, h.Threads, *format)
+	return 0
+}
+
+func inspectTrace(stdout io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, events, err := trace.ReadBinary(f)
+	if err != nil {
+		// Retry as JSON.
+		if _, serr := f.Seek(0, 0); serr != nil {
+			return serr
+		}
+		h, events, err = trace.ReadJSON(f)
+		if err != nil {
+			return fmt.Errorf("not a binary or JSON trace: %w", err)
+		}
+	}
+	cache, mem, err := trace.Rates(h, events, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace %q: %d threads, %d cycles, %d events\n", h.Name, h.Threads, h.Cycles, len(events))
+	fmt.Fprintf(stdout, "recovered rates (requests per 2000 cycles):\n")
+	fmt.Fprintf(stdout, "  cache: mean %.3f std %.3f\n", stats.Mean(cache), stats.StdDev(cache))
+	fmt.Fprintf(stdout, "  mem:   mean %.3f std %.3f\n", stats.Mean(mem), stats.StdDev(mem))
+	return nil
+}

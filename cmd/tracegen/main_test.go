@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndInspectBinary(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c1.trace")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-config", "C1", "-cycles", "20000", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("generate exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "64 threads") {
+		t.Errorf("unexpected output: %s", stdout.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if code := run([]string{"-inspect", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("inspect exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "recovered rates") {
+		t.Errorf("inspect output: %s", stdout.String())
+	}
+}
+
+func TestGenerateJSONAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c2.jsonl")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-config", "C2", "-cycles", "5000", "-format", "json", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-inspect", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("inspect exit %d: %s", code, stderr.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-config", "C99"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown config accepted")
+	}
+	if code := run([]string{"-config", "C1", "-format", "xml", "-out", filepath.Join(t.TempDir(), "x")}, &stdout, &stderr); code == 0 {
+		t.Error("unknown format accepted")
+	}
+	if code := run([]string{"-inspect", "/nonexistent/file"}, &stdout, &stderr); code == 0 {
+		t.Error("missing file accepted")
+	}
+	if code := run([]string{"-bogusflag"}, &stdout, &stderr); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// NoC simulation: run the flit-level wormhole network under two
+// mappings of the same workload and compare *measured* per-application
+// latencies, queuing, and DSENT-style power — the substrate behind the
+// paper's Figure 11 and the validation of its analytic model.
+//
+// Run with: go run ./examples/nocsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obm/internal/core"
+	"obm/internal/mapping"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/power"
+	"obm/internal/sim"
+	"obm/internal/workload"
+)
+
+func main() {
+	lm, err := model.New(mesh.MustNew(8, 8), model.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewProblem(lm, workload.MustConfig("C1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.DefaultRateDrivenConfig()
+	cfg.MeasureCycles = 100_000
+	pparams := power.Default45nm()
+	msh := lm.Mesh()
+
+	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
+		mp, err := mapping.MapAndCheck(m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RateDriven(p, mp, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := p.Evaluate(mp)
+		fmt.Printf("%s (simulated %d cycles, %d packets):\n",
+			m.Name(), res.Cycles, res.Net.DeliveredPackets)
+		for a := 0; a < p.NumApps(); a++ {
+			fmt.Printf("  app %d: measured APL %6.2f  (model %6.2f)\n",
+				a+1, res.AppAPL[a], pred.APLs[a])
+		}
+		rep, err := power.Estimate(pparams, res.Net, msh.NumTiles(),
+			power.MeshLinkCount(msh.Rows(), msh.Cols()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  max-APL %.2f  dev-APL %.4f  queuing %.3f cyc/hop\n",
+			res.MaxAPL, res.DevAPL, res.Net.AvgQueuingPerHop())
+		fmt.Printf("  NoC power: %.3f W dynamic + %.3f W leakage\n",
+			rep.DynamicW, rep.StaticW)
+		fmt.Print("  hottest links:")
+		for _, l := range res.Net.HottestLinks(3) {
+			fmt.Printf("  tile %d -> %v (%.3f flits/cyc)", l.Tile, l.Port, float64(l.Flits)/float64(res.Net.Cycles))
+		}
+		fmt.Print("\n\n")
+	}
+	fmt.Println("The measured latencies track the analytic model within a couple of")
+	fmt.Println("cycles, and the balanced mapping costs almost no extra power.")
+}

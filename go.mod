@@ -1,0 +1,3 @@
+module obm
+
+go 1.22

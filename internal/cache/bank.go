@@ -1,0 +1,187 @@
+package cache
+
+import "fmt"
+
+// Sharers is a bitmask of tiles holding a block in their private L1
+// (one bit per tile; supports up to 64 tiles, the paper's platform).
+type Sharers uint64
+
+// Add marks tile t as a sharer.
+func (s Sharers) Add(t int) Sharers { return s | 1<<uint(t) }
+
+// Remove clears tile t.
+func (s Sharers) Remove(t int) Sharers { return s &^ (1 << uint(t)) }
+
+// Has reports whether tile t shares the block.
+func (s Sharers) Has(t int) bool { return s&(1<<uint(t)) != 0 }
+
+// Count returns the number of sharers.
+func (s Sharers) Count() int {
+	n := 0
+	for v := s; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Tiles returns the sharer tile indices in ascending order.
+func (s Sharers) Tiles() []int {
+	var out []int
+	for t := 0; t < 64; t++ {
+		if s.Has(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Bank is one shared-L2 slice plus its slice of the coherence
+// directory: for every resident block it tracks which tiles' L1s hold a
+// copy, so the protocol knows where to send forward/invalidate packets
+// (the "checking/forwarding packets" of Section II.B).
+type Bank struct {
+	tile  int
+	cache *SetAssoc
+	dir   map[uint64]Sharers
+	cfg   Config
+}
+
+// NewBank builds the L2 bank residing on the given tile.
+func NewBank(cfg Config, tile int) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tile < 0 || tile >= cfg.NumBanks {
+		return nil, fmt.Errorf("cache: bank tile %d out of range [0,%d)", tile, cfg.NumBanks)
+	}
+	sa, err := NewSetAssoc(cfg.L2BankSize, cfg.L2Ways, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Bank{tile: tile, cache: sa, dir: make(map[uint64]Sharers), cfg: cfg}, nil
+}
+
+// Tile returns the tile hosting this bank.
+func (b *Bank) Tile() int { return b.tile }
+
+// localAddr translates a global block address to this bank's local
+// address space. The blocks a bank holds are spaced NumBanks apart in
+// the global block numbering (the interleave of Figure 2); indexing the
+// bank's sets with the global number would alias every block into the
+// handful of sets congruent to the bank index, wasting most of the
+// capacity. Dividing the bank bits out first restores full utilization,
+// exactly as hardware slices index with the bits above the bank field.
+func (b *Bank) localAddr(addr uint64) uint64 {
+	blockNum := addr / uint64(b.cfg.BlockSize)
+	return (blockNum / uint64(b.cfg.NumBanks)) * uint64(b.cfg.BlockSize)
+}
+
+// globalAddr inverts localAddr.
+func (b *Bank) globalAddr(local uint64) uint64 {
+	blockNum := local / uint64(b.cfg.BlockSize)
+	return (blockNum*uint64(b.cfg.NumBanks) + uint64(b.tile)) * uint64(b.cfg.BlockSize)
+}
+
+// AccessResult describes the bank's reaction to an L1 miss request.
+type AccessResult struct {
+	// Hit reports whether the block was resident in this L2 bank.
+	Hit bool
+	// Forwards lists tiles whose L1 copies must be notified (owner
+	// forwarding on a read of a modified block, invalidations on a
+	// write). A packet per tile models the coherence traffic.
+	Forwards []int
+	// Evicted is the block address displaced by the fill, when EvictedOK.
+	Evicted   uint64
+	EvictedOK bool
+}
+
+// Access handles an L1 miss for addr from the requesting tile. write
+// distinguishes stores (which invalidate other sharers) from loads
+// (which add a sharer, forwarding from the previous exclusive holder if
+// any). On an L2 miss the caller is responsible for fetching the block
+// from memory and calling Fill.
+func (b *Bank) Access(addr uint64, fromTile int, write bool) AccessResult {
+	if got, want := b.cfg.BankOf(addr), b.tile; got != want {
+		panic(fmt.Sprintf("cache: address %#x hashes to bank %d, accessed bank %d", addr, got, want))
+	}
+	block := b.cfg.BlockAddr(addr)
+	var res AccessResult
+	res.Hit = b.cache.Lookup(b.localAddr(block))
+	if !res.Hit {
+		return res
+	}
+	if write {
+		b.cache.MarkDirty(b.localAddr(block))
+	}
+	sharers := b.dir[block]
+	if write {
+		// Invalidate every other sharer.
+		for _, t := range sharers.Tiles() {
+			if t != fromTile {
+				res.Forwards = append(res.Forwards, t)
+			}
+		}
+		b.dir[block] = Sharers(0).Add(fromTile)
+	} else {
+		// A single existing sharer may hold the block modified; the
+		// protocol forwards the request to it (MOESI owner forwarding).
+		if sharers.Count() == 1 && !sharers.Has(fromTile) {
+			res.Forwards = append(res.Forwards, sharers.Tiles()[0])
+		}
+		b.dir[block] = sharers.Add(fromTile)
+	}
+	return res
+}
+
+// Fill inserts a block fetched from memory and records the requester as
+// its first sharer. It returns the eviction, if any, and whether the
+// victim was dirty (requiring a writeback to memory); evicted blocks
+// drop their directory state (back-invalidation of L1 copies is
+// approximated by the forwards already reported).
+func (b *Bank) Fill(addr uint64, fromTile int) (evicted uint64, evictedDirty, wasEvicted bool) {
+	block := b.cfg.BlockAddr(addr)
+	evictedLocal, evictedDirty, wasEvicted := b.cache.InsertDirty(b.localAddr(block), false)
+	if wasEvicted {
+		evicted = b.globalAddr(evictedLocal)
+		delete(b.dir, evicted)
+	}
+	b.dir[block] = b.dir[block].Add(fromTile)
+	return evicted, evictedDirty, wasEvicted
+}
+
+// ReceiveWriteback absorbs a dirty block evicted from an L1: if the
+// block is still resident the bank takes ownership of the dirty data
+// and reports true; otherwise the caller must forward the writeback to
+// memory. Either way the evicting tile stops being a sharer.
+func (b *Bank) ReceiveWriteback(addr uint64, fromTile int) (resident bool) {
+	block := b.cfg.BlockAddr(addr)
+	b.DropSharer(block, fromTile)
+	local := b.localAddr(block)
+	if b.cache.Contains(local) {
+		b.cache.MarkDirty(local)
+		return true
+	}
+	return false
+}
+
+// DropSharer removes fromTile from addr's sharer set (an L1 eviction
+// notification).
+func (b *Bank) DropSharer(addr uint64, fromTile int) {
+	block := b.cfg.BlockAddr(addr)
+	if s, ok := b.dir[block]; ok {
+		s = s.Remove(fromTile)
+		if s == 0 {
+			delete(b.dir, block)
+		} else {
+			b.dir[block] = s
+		}
+	}
+}
+
+// Sharers returns the current sharer set of addr's block.
+func (b *Bank) Sharers(addr uint64) Sharers {
+	return b.dir[b.cfg.BlockAddr(addr)]
+}
+
+// HitRate exposes the underlying cache hit rate.
+func (b *Bank) HitRate() float64 { return b.cache.HitRate() }

@@ -1,0 +1,78 @@
+// Package cache models the CMP memory system of the paper's evaluation
+// platform (Table 2): private per-tile L1 caches, a shared L2 cache
+// distributed across all tiles in address-interleaved banks (Figure 2),
+// a directory of sharers kept with each L2 bank, and four memory
+// controllers in the chip corners. It substitutes for the GEMS memory
+// system the paper drives through Simics (DESIGN.md, substitution 4).
+package cache
+
+import "fmt"
+
+// Config holds the memory-system parameters.
+type Config struct {
+	// BlockSize is the cache line size in bytes (Table 2: 64).
+	BlockSize int
+	// L1Size and L1Ways describe each private L1 (Table 2: 32KB 2-way).
+	L1Size, L1Ways int
+	// L2BankSize and L2Ways describe each tile's shared L2 slice
+	// (Table 2: 256KB 16-way).
+	L2BankSize, L2Ways int
+	// L1Latency and L2Latency are access latencies in cycles (1 and 6).
+	L1Latency, L2Latency int
+	// MemLatency is the off-chip access latency in cycles (128).
+	MemLatency int
+	// MemBandwidth is the minimum gap in cycles between successive
+	// requests entering service at one controller (1 = fully pipelined).
+	MemBandwidth int
+	// NumBanks is the number of L2 banks (= number of tiles).
+	NumBanks int
+}
+
+// DefaultConfig returns the paper's Table 2 memory system for an N-tile
+// chip.
+func DefaultConfig(numBanks int) Config {
+	return Config{
+		BlockSize:    64,
+		L1Size:       32 * 1024,
+		L1Ways:       2,
+		L2BankSize:   256 * 1024,
+		L2Ways:       16,
+		L1Latency:    1,
+		L2Latency:    6,
+		MemLatency:   128,
+		MemBandwidth: 4,
+		NumBanks:     numBanks,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0:
+		return fmt.Errorf("cache: block size %d not a positive power of two", c.BlockSize)
+	case c.L1Size <= 0 || c.L1Ways <= 0 || c.L1Size%(c.BlockSize*c.L1Ways) != 0:
+		return fmt.Errorf("cache: bad L1 geometry %dB %d-way", c.L1Size, c.L1Ways)
+	case c.L2BankSize <= 0 || c.L2Ways <= 0 || c.L2BankSize%(c.BlockSize*c.L2Ways) != 0:
+		return fmt.Errorf("cache: bad L2 geometry %dB %d-way", c.L2BankSize, c.L2Ways)
+	case c.L1Latency < 0 || c.L2Latency < 0 || c.MemLatency < 0:
+		return fmt.Errorf("cache: negative latency")
+	case c.MemBandwidth < 1:
+		return fmt.Errorf("cache: memory bandwidth gap must be >= 1 cycle")
+	case c.NumBanks <= 0:
+		return fmt.Errorf("cache: need at least one bank")
+	}
+	return nil
+}
+
+// BlockAddr returns the block-aligned address of addr.
+func (c Config) BlockAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.BlockSize-1)
+}
+
+// BankOf returns the L2 bank (tile index) holding addr: the bank is
+// selected by the lowest-order bits above the block offset (Figure 2 of
+// the paper), so consecutive blocks are uniformly interleaved across all
+// banks.
+func (c Config) BankOf(addr uint64) int {
+	return int((addr / uint64(c.BlockSize)) % uint64(c.NumBanks))
+}

@@ -1,0 +1,56 @@
+package cache
+
+import "fmt"
+
+// MemoryController models one corner memory controller: a FIFO of
+// outstanding requests served at a fixed bandwidth, each completing
+// MemLatency cycles after entering service (Table 2: 128 cycles).
+type MemoryController struct {
+	tile      int
+	latency   int64
+	gap       int64
+	nextStart int64 // earliest cycle the next request may enter service
+	served    uint64
+	busySum   int64
+}
+
+// NewMemoryController builds the controller on the given tile.
+func NewMemoryController(cfg Config, tile int) *MemoryController {
+	return &MemoryController{
+		tile:    tile,
+		latency: int64(cfg.MemLatency),
+		gap:     int64(cfg.MemBandwidth),
+	}
+}
+
+// Tile returns the controller's tile.
+func (mc *MemoryController) Tile() int { return mc.tile }
+
+// Submit enqueues a request at cycle now and returns the cycle its data
+// is ready to be sent back on-chip.
+func (mc *MemoryController) Submit(now int64) (ready int64) {
+	start := now
+	if mc.nextStart > start {
+		start = mc.nextStart
+	}
+	mc.nextStart = start + mc.gap
+	mc.served++
+	mc.busySum += start - now
+	return start + mc.latency
+}
+
+// Served returns the number of requests handled.
+func (mc *MemoryController) Served() uint64 { return mc.served }
+
+// AvgQueueDelay returns the mean cycles requests waited before entering
+// service.
+func (mc *MemoryController) AvgQueueDelay() float64 {
+	if mc.served == 0 {
+		return 0
+	}
+	return float64(mc.busySum) / float64(mc.served)
+}
+
+func (mc *MemoryController) String() string {
+	return fmt.Sprintf("MC@tile%d (lat=%d, gap=%d)", mc.tile, mc.latency, mc.gap)
+}

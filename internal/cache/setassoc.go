@@ -1,0 +1,200 @@
+package cache
+
+import "fmt"
+
+// SetAssoc is a set-associative cache directory with true-LRU
+// replacement. It tracks which block addresses are resident; data values
+// are not modeled (the simulator cares about hits, misses and
+// evictions, not contents).
+type SetAssoc struct {
+	sets      int
+	ways      int
+	blockSize int
+	// lines[set*ways+way] holds the resident block address; valid bit
+	// alongside. lru[set*ways+way] is a recency counter (higher = more
+	// recent).
+	lines []uint64
+	valid []bool
+	dirty []bool
+	lru   []uint64
+	tick  uint64
+
+	hits, misses, evictions uint64
+}
+
+// NewSetAssoc builds a cache of the given total size in bytes.
+func NewSetAssoc(size, ways, blockSize int) (*SetAssoc, error) {
+	if size <= 0 || ways <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry size=%d ways=%d block=%d", size, ways, blockSize)
+	}
+	blocks := size / blockSize
+	if blocks == 0 || blocks%ways != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d-way sets of %dB blocks", size, ways, blockSize)
+	}
+	sets := blocks / ways
+	return &SetAssoc{
+		sets:      sets,
+		ways:      ways,
+		blockSize: blockSize,
+		lines:     make([]uint64, blocks),
+		valid:     make([]bool, blocks),
+		dirty:     make([]bool, blocks),
+		lru:       make([]uint64, blocks),
+	}, nil
+}
+
+// MustNewSetAssoc is NewSetAssoc but panics on error.
+func MustNewSetAssoc(size, ways, blockSize int) *SetAssoc {
+	c, err := NewSetAssoc(size, ways, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+func (c *SetAssoc) setOf(block uint64) int {
+	return int((block / uint64(c.blockSize)) % uint64(c.sets))
+}
+
+// Lookup reports whether the block containing addr is resident, updating
+// recency and hit/miss counters.
+func (c *SetAssoc) Lookup(addr uint64) bool {
+	block := addr &^ uint64(c.blockSize-1)
+	set := c.setOf(block)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == block {
+			c.tick++
+			c.lru[base+w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains is Lookup without statistics or recency side effects.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	block := addr &^ uint64(c.blockSize-1)
+	base := c.setOf(block) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the block containing addr clean, evicting the LRU way
+// if the set is full. It returns the evicted block address and whether
+// an eviction occurred. Inserting a resident block only refreshes
+// recency.
+func (c *SetAssoc) Insert(addr uint64) (evicted uint64, wasEvicted bool) {
+	evicted, _, wasEvicted = c.InsertDirty(addr, false)
+	return evicted, wasEvicted
+}
+
+// InsertDirty fills the block containing addr with the given dirty
+// state, additionally reporting whether the evicted victim (if any) was
+// dirty — a dirty victim must be written back toward its home.
+// Re-inserting a resident block refreshes recency and ORs the dirty
+// bit.
+func (c *SetAssoc) InsertDirty(addr uint64, dirty bool) (evicted uint64, evictedDirty, wasEvicted bool) {
+	block := addr &^ uint64(c.blockSize-1)
+	set := c.setOf(block)
+	base := set * c.ways
+	c.tick++
+	victim := -1
+	var victimLRU uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == block {
+			c.lru[base+w] = c.tick
+			c.dirty[base+w] = c.dirty[base+w] || dirty
+			return 0, false, false
+		}
+		if !c.valid[base+w] {
+			if victim == -1 || c.valid[base+victim] {
+				victim = w
+				victimLRU = 0
+			}
+			continue
+		}
+		if c.lru[base+w] < victimLRU {
+			victim = w
+			victimLRU = c.lru[base+w]
+		}
+	}
+	if c.valid[base+victim] {
+		evicted = c.lines[base+victim]
+		evictedDirty = c.dirty[base+victim]
+		wasEvicted = true
+		c.evictions++
+	}
+	c.lines[base+victim] = block
+	c.valid[base+victim] = true
+	c.dirty[base+victim] = dirty
+	c.lru[base+victim] = c.tick
+	return evicted, evictedDirty, wasEvicted
+}
+
+// MarkDirty sets the dirty bit of a resident block (a store hit),
+// reporting whether the block was resident.
+func (c *SetAssoc) MarkDirty(addr uint64) bool {
+	block := addr &^ uint64(c.blockSize-1)
+	base := c.setOf(block) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == block {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty reports whether addr's block is resident and dirty.
+func (c *SetAssoc) IsDirty(addr uint64) bool {
+	block := addr &^ uint64(c.blockSize-1)
+	base := c.setOf(block) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == block {
+			return c.dirty[base+w]
+		}
+	}
+	return false
+}
+
+// Invalidate removes the block containing addr if resident, reporting
+// whether it was.
+func (c *SetAssoc) Invalidate(addr uint64) bool {
+	block := addr &^ uint64(c.blockSize-1)
+	base := c.setOf(block) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == block {
+			c.valid[base+w] = false
+			c.dirty[base+w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative (hits, misses, evictions).
+func (c *SetAssoc) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *SetAssoc) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"fmt"
+
+	"obm/internal/stats"
+)
+
+// StreamConfig shapes a synthetic per-thread address stream. The
+// defaults imitate a data-parallel PARSEC worker: a private working set
+// it sweeps with high locality, plus occasional touches into a region
+// shared with its application's other threads (which is what produces
+// coherence forwards).
+type StreamConfig struct {
+	// WorkingSetBlocks is the number of distinct private blocks.
+	WorkingSetBlocks int
+	// SharedBlocks is the number of blocks in the application-shared
+	// region.
+	SharedBlocks int
+	// SharedFrac is the probability an access targets the shared region.
+	SharedFrac float64
+	// WriteFrac is the probability an access is a store.
+	WriteFrac float64
+	// ReuseFrac is the probability an access revisits a recently used
+	// block rather than striding onward (temporal locality).
+	ReuseFrac float64
+	// ReuseWindow bounds how far back reuse reaches.
+	ReuseWindow int
+}
+
+// DefaultStreamConfig returns locality parameters that produce L1 hit
+// rates in the 80-95% range typical of PARSEC workloads.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		WorkingSetBlocks: 2048,
+		SharedBlocks:     512,
+		SharedFrac:       0.15,
+		WriteFrac:        0.3,
+		ReuseFrac:        0.8,
+		ReuseWindow:      64,
+	}
+}
+
+// Validate reports an error for unusable stream parameters.
+func (c StreamConfig) Validate() error {
+	switch {
+	case c.WorkingSetBlocks <= 0:
+		return fmt.Errorf("cache: working set must be positive")
+	case c.SharedBlocks < 0:
+		return fmt.Errorf("cache: negative shared region")
+	case c.SharedFrac < 0 || c.SharedFrac > 1:
+		return fmt.Errorf("cache: SharedFrac %v outside [0,1]", c.SharedFrac)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("cache: WriteFrac %v outside [0,1]", c.WriteFrac)
+	case c.ReuseFrac < 0 || c.ReuseFrac > 1:
+		return fmt.Errorf("cache: ReuseFrac %v outside [0,1]", c.ReuseFrac)
+	case c.ReuseWindow < 0:
+		return fmt.Errorf("cache: negative reuse window")
+	}
+	return nil
+}
+
+// Access is one generated memory reference.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Stream generates a deterministic synthetic address stream for one
+// thread.
+type Stream struct {
+	cfg        StreamConfig
+	rng        *stats.Rand
+	privBase   uint64
+	sharedBase uint64
+	blockSize  uint64
+	pos        uint64
+	recent     []uint64
+}
+
+// NewStream builds a stream. privBase/sharedBase are byte addresses of
+// the thread-private and application-shared regions; threads of one
+// application pass the same sharedBase.
+func NewStream(cfg StreamConfig, blockSize int, privBase, sharedBase uint64, rng *stats.Rand) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cache: bad block size %d", blockSize)
+	}
+	return &Stream{
+		cfg:        cfg,
+		rng:        rng,
+		privBase:   privBase,
+		sharedBase: sharedBase,
+		blockSize:  uint64(blockSize),
+	}, nil
+}
+
+// Next returns the next memory reference.
+func (s *Stream) Next() Access {
+	var addr uint64
+	switch {
+	case len(s.recent) > 0 && s.rng.Float64() < s.cfg.ReuseFrac:
+		addr = s.recent[s.rng.Intn(len(s.recent))]
+	case s.cfg.SharedBlocks > 0 && s.rng.Float64() < s.cfg.SharedFrac:
+		addr = s.sharedBase + uint64(s.rng.Intn(s.cfg.SharedBlocks))*s.blockSize
+	default:
+		addr = s.privBase + (s.pos%uint64(s.cfg.WorkingSetBlocks))*s.blockSize
+		s.pos++
+	}
+	if s.cfg.ReuseWindow > 0 {
+		s.recent = append(s.recent, addr)
+		if len(s.recent) > s.cfg.ReuseWindow {
+			s.recent = s.recent[1:]
+		}
+	}
+	return Access{Addr: addr, Write: s.rng.Float64() < s.cfg.WriteFrac}
+}

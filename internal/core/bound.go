@@ -1,0 +1,72 @@
+package core
+
+import (
+	"obm/internal/hungarian"
+	"obm/internal/mesh"
+)
+
+// LowerBound returns a provable lower bound on the optimal max-APL of
+// the problem, computed from two relaxations (both Hungarian solves,
+// O(N^3) total):
+//
+//  1. Per-application relaxation: an application's APL under any
+//     permutation is at least its APL when it may claim the best tiles
+//     of the whole chip for itself, so the optimum is at least the
+//     largest of these unconstrained per-application optima.
+//
+//  2. Mean relaxation: the maximum of the per-application APLs is at
+//     least their request-rate-weighted mean, which equals the global
+//     APL; the g-APL of any mapping is at least the optimal g-APL (one
+//     chip-wide assignment), so that optimum also bounds max-APL.
+//
+// The returned bound is the larger of the two. Experiments use it to
+// report how close sort-select-swap gets to optimal without needing an
+// (exponential) exact solve.
+func (p *Problem) LowerBound() (float64, error) {
+	best := 0.0
+	// Relaxation 1: each application alone on the chip.
+	for i := 0; i < p.NumApps(); i++ {
+		w := p.AppWeight(i)
+		if w == 0 {
+			continue
+		}
+		lo, hi := p.AppThreads(i)
+		na := hi - lo
+		cost := make([][]float64, na)
+		for x := 0; x < na; x++ {
+			row := make([]float64, p.N())
+			for k := 0; k < p.N(); k++ {
+				row[k] = p.ThreadCost(lo+x, mesh.Tile(k))
+			}
+			cost[x] = row
+		}
+		_, total, err := hungarian.Solve(cost)
+		if err != nil {
+			return 0, err
+		}
+		if apl := total / w; apl > best {
+			best = apl
+		}
+	}
+	// Relaxation 2: optimal g-APL.
+	if p.totalRate > 0 {
+		n := p.N()
+		cost := make([][]float64, n)
+		flat := make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			row := flat[j*n : (j+1)*n]
+			for k := 0; k < n; k++ {
+				row[k] = p.ThreadCost(j, mesh.Tile(k))
+			}
+			cost[j] = row
+		}
+		_, total, err := hungarian.Solve(cost)
+		if err != nil {
+			return 0, err
+		}
+		if g := total / p.totalRate; g > best {
+			best = g
+		}
+	}
+	return best, nil
+}

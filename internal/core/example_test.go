@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/workload"
+)
+
+// Evaluate a mapping of the Figure 5 example: the identity permutation
+// is far from balanced.
+func ExampleProblem_Evaluate() {
+	lm := model.MustNew(mesh.MustNew(4, 4), model.Figure5Params())
+	p := core.MustNewProblem(lm, workload.Figure5Workload())
+
+	ev := p.Evaluate(core.IdentityMapping(16))
+	fmt.Printf("max-APL %.4f, dev-APL %.4f\n", ev.MaxAPL, ev.DevAPL)
+
+	lb, err := p.LowerBound()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("no mapping can beat %.4f\n", lb)
+	// Output:
+	// max-APL 11.9375, dev-APL 1.0000
+	// no mapping can beat 10.3375
+}

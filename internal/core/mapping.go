@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+// Mapping is a thread-to-tile permutation: Mapping[j] is the tile hosting
+// flattened thread j (the paper's pi(j) = k, 0-based).
+type Mapping []mesh.Tile
+
+// Clone returns a deep copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	copy(out, m)
+	return out
+}
+
+// Validate reports an error unless m is a permutation of tiles 0..N-1.
+func (m Mapping) Validate(n int) error {
+	if len(m) != n {
+		return fmt.Errorf("core: mapping has %d entries for %d threads", len(m), n)
+	}
+	seen := make([]bool, n)
+	for j, t := range m {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("core: thread %d mapped to out-of-range tile %d", j, t)
+		}
+		if seen[t] {
+			return fmt.Errorf("core: tile %d assigned to multiple threads", t)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// IdentityMapping maps thread j to tile j.
+func IdentityMapping(n int) Mapping {
+	m := make(Mapping, n)
+	for j := range m {
+		m[j] = mesh.Tile(j)
+	}
+	return m
+}
+
+// RandomMapping returns a uniformly random permutation mapping drawn from
+// rng.
+func RandomMapping(n int, rng *stats.Rand) Mapping {
+	perm := rng.Perm(n)
+	m := make(Mapping, n)
+	for j, t := range perm {
+		m[j] = mesh.Tile(t)
+	}
+	return m
+}
+
+// InverseOn returns the tile-to-thread inverse of m (length N).
+func (m Mapping) InverseOn(n int) []int {
+	inv := make([]int, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for j, t := range m {
+		inv[t] = j
+	}
+	return inv
+}
+
+// Evaluation bundles every latency metric the paper reports for one
+// mapping of one problem.
+type Evaluation struct {
+	// APLs is the per-application average packet latency d_i (eq. 5),
+	// indexed by application. Idle applications with zero total rate have
+	// APL 0 and are excluded from MaxAPL and DevAPL.
+	APLs []float64
+	// MaxAPL is the paper's objective d_max = max_i d_i (eq. 7).
+	MaxAPL float64
+	// DevAPL is the population standard deviation of the APLs.
+	DevAPL float64
+	// GlobalAPL is the g-APL: total packet latency over total volume.
+	GlobalAPL float64
+	// MinMaxRatio is min_i d_i / max_i d_i, the alternative balance metric
+	// discussed in Section III.A.
+	MinMaxRatio float64
+}
+
+// Evaluate computes all latency metrics for mapping m (which must be a
+// valid permutation for p; behaviour on invalid mappings is undefined —
+// mappers in this repository always produce validated permutations, and
+// the harness re-validates at experiment boundaries).
+func (p *Problem) Evaluate(m Mapping) Evaluation {
+	a := p.NumApps()
+	num := make([]float64, a) // per-application total packet latency
+	var totalNum float64
+	for j, t := range m {
+		c := p.ThreadCost(j, t)
+		num[p.appOf[j]] += c
+		totalNum += c
+	}
+	ev := Evaluation{APLs: make([]float64, a)}
+	active := make([]float64, 0, a)
+	for i := 0; i < a; i++ {
+		if p.appWeight[i] == 0 {
+			continue // idle pseudo-application
+		}
+		ev.APLs[i] = num[i] / p.appWeight[i]
+		active = append(active, ev.APLs[i])
+	}
+	if len(active) > 0 {
+		ev.MaxAPL = stats.MustMax(active)
+		ev.DevAPL = stats.StdDev(active)
+		ev.MinMaxRatio = stats.MinMaxRatio(active)
+	}
+	if p.totalRate > 0 {
+		ev.GlobalAPL = totalNum / p.totalRate
+	}
+	return ev
+}
+
+// APL returns application i's average packet latency under mapping m
+// without computing the full evaluation.
+func (p *Problem) APL(m Mapping, i int) float64 {
+	if p.appWeight[i] == 0 {
+		return 0
+	}
+	lo, hi := p.AppThreads(i)
+	var num float64
+	for j := lo; j < hi; j++ {
+		num += p.ThreadCost(j, m[j])
+	}
+	return num / p.appWeight[i]
+}
+
+// MaxAPL returns the objective value d_max of mapping m.
+func (p *Problem) MaxAPL(m Mapping) float64 {
+	return p.Evaluate(m).MaxAPL
+}
+
+// GlobalAPL returns the g-APL of mapping m.
+func (p *Problem) GlobalAPL(m Mapping) float64 {
+	return p.Evaluate(m).GlobalAPL
+}
+
+// AppGrid renders the mapping as a rows x cols grid of 1-based
+// application IDs, the format of the paper's Figures 4 and 8. With
+// capacity > 1 a tile hosts several threads; the grid shows the
+// application of the lowest slot on each tile.
+func (p *Problem) AppGrid(m Mapping) [][]int {
+	msh := p.lm.Mesh()
+	grid := make([][]int, msh.Rows())
+	for r := range grid {
+		grid[r] = make([]int, msh.Cols())
+	}
+	for j, t := range m {
+		if p.capacity > 1 && int(t)%p.capacity != 0 {
+			continue
+		}
+		c := msh.Coord(p.TileOfSlot(t))
+		grid[c.Row][c.Col] = p.appOf[j] + 1
+	}
+	return grid
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/hungarian"
+	"obm/internal/mesh"
+)
+
+// SolveSAM solves the Single Application Mapping problem of Section IV.A
+// (Algorithm 1): given the flattened thread range [lo, hi) of one
+// application and an equally-sized set of candidate tiles, it finds the
+// assignment of threads to those tiles that minimizes the application's
+// total packet latency (equivalently its APL, since the denominator is
+// fixed).
+//
+// The returned slice assign has length hi-lo; assign[x] is the tile given
+// to thread lo+x. The returned cost is the application's total packet
+// latency (the APL numerator), i.e. sum of c_j*TC + m_j*TM over the
+// application; divide by Problem.AppWeight to obtain the APL.
+func (p *Problem) SolveSAM(lo, hi int, tiles []mesh.Tile) (assign []mesh.Tile, cost float64, err error) {
+	na := hi - lo
+	if na <= 0 || lo < 0 || hi > p.N() {
+		return nil, 0, fmt.Errorf("core: SAM thread range [%d,%d) invalid", lo, hi)
+	}
+	if len(tiles) != na {
+		return nil, 0, fmt.Errorf("core: SAM got %d tiles for %d threads", len(tiles), na)
+	}
+	// Step 1 (Algorithm 1): build the cost matrix cost[j][k] (eq. 13).
+	costM := make([][]float64, na)
+	flat := make([]float64, na*na)
+	for x := 0; x < na; x++ {
+		row := flat[x*na : (x+1)*na]
+		j := lo + x
+		for y, t := range tiles {
+			row[y] = p.ThreadCost(j, t)
+		}
+		costM[x] = row
+	}
+	// Step 2: Hungarian assignment.
+	rowToCol, total, err := hungarian.Solve(costM)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: SAM: %w", err)
+	}
+	assign = make([]mesh.Tile, na)
+	for x, y := range rowToCol {
+		assign[x] = tiles[y]
+	}
+	return assign, total, nil
+}
+
+// SolveSAMInto solves SAM for application i and writes the resulting
+// assignment into mapping m (which must have length N). It returns the
+// application's resulting APL.
+func (p *Problem) SolveSAMInto(m Mapping, appIdx int, tiles []mesh.Tile) (float64, error) {
+	lo, hi := p.AppThreads(appIdx)
+	assign, cost, err := p.SolveSAM(lo, hi, tiles)
+	if err != nil {
+		return 0, err
+	}
+	for x, t := range assign {
+		m[lo+x] = t
+	}
+	if w := p.AppWeight(appIdx); w > 0 {
+		return cost / w, nil
+	}
+	return 0, nil
+}
+
+// ReoptimizeApp re-runs SAM for application i over the tiles it currently
+// occupies in m, improving (never worsening) its APL in place. This is
+// the final polish step of the sort-select-swap algorithm and is also
+// used after sliding-window swaps.
+func (p *Problem) ReoptimizeApp(m Mapping, appIdx int) error {
+	lo, hi := p.AppThreads(appIdx)
+	tiles := make([]mesh.Tile, hi-lo)
+	for x := range tiles {
+		tiles[x] = m[lo+x]
+	}
+	_, err := p.SolveSAMInto(m, appIdx, tiles)
+	return err
+}

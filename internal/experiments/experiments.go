@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) from this repository's substrates. Each
+// experiment is a named Runner producing a typed result that renders as
+// a paper-style ASCII table or grid and exports CSV. DESIGN.md's
+// per-experiment index maps experiment IDs to these runners;
+// EXPERIMENTS.md records paper-vs-measured numbers.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"obm/internal/core"
+	"obm/internal/mapping"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/workload"
+)
+
+// Options tunes experiment cost and seeding.
+type Options struct {
+	// Quick trades sample counts for speed (used by CI and -short
+	// tests); headline shapes survive, error bars grow.
+	Quick bool
+	// Seed offsets every stochastic component deterministically.
+	Seed uint64
+	// Configs restricts which of C1..C8 run; nil means the experiment's
+	// paper-default set.
+	Configs []string
+}
+
+// RandomDraws returns the number of random mappings averaged for
+// random-baseline columns (the paper uses >10^4).
+func (o Options) RandomDraws() int {
+	if o.Quick {
+		return 500
+	}
+	return 10_000
+}
+
+// MCSamples returns the Monte-Carlo sample budget (paper: 10^4).
+func (o Options) MCSamples() int {
+	if o.Quick {
+		return 1_000
+	}
+	return 10_000
+}
+
+// SAIters returns the simulated-annealing iteration budget used where
+// the paper gives SA "similar runtime" to SSS; 18k iterations matches
+// SSS wall time on the reference machine (see EXPERIMENTS.md).
+func (o Options) SAIters() int {
+	if o.Quick {
+		return 5_000
+	}
+	return 18_000
+}
+
+// Result is what every experiment returns.
+type Result interface {
+	// Render returns the paper-style human-readable form.
+	Render() string
+	// CSV returns a machine-readable form (header row first).
+	CSV() string
+}
+
+// Runner regenerates one table or figure.
+type Runner interface {
+	// ID is the registry key, e.g. "table1" or "fig9".
+	ID() string
+	// Title describes the experiment.
+	Title() string
+	// Run executes it.
+	Run(o Options) (Result, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.ID()]; dup {
+		panic("experiments: duplicate ID " + r.ID())
+	}
+	registry[r.ID()] = r
+}
+
+// Get returns the runner for id.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r, nil
+}
+
+// IDs lists registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all runners in ID order.
+func All() []Runner {
+	out := make([]Runner, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// paperModel returns the 8x8 default-parameter latency model.
+func paperModel() *model.LatencyModel {
+	return model.MustNew(mesh.MustNew(8, 8), model.DefaultParams())
+}
+
+// problemFor builds the OBM problem for one paper configuration.
+func problemFor(cfg string) (*core.Problem, error) {
+	w, err := workload.Config(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblem(paperModel(), w)
+}
+
+// configsOrDefault resolves the option's config list.
+func configsOrDefault(o Options, def []string) []string {
+	if len(o.Configs) > 0 {
+		return o.Configs
+	}
+	return def
+}
+
+// standardMappers returns the paper's four comparison algorithms with
+// the budgets of Section V.A.
+func standardMappers(o Options) []mapping.Mapper {
+	return []mapping.Mapper{
+		mapping.Global{},
+		mapping.MonteCarlo{Samples: o.MCSamples(), Seed: o.Seed + 1},
+		mapping.Annealing{Iters: o.SAIters(), Seed: o.Seed + 2},
+		mapping.SortSelectSwap{},
+	}
+}
+
+// parallelConfigs runs fn once per configuration concurrently — each
+// builds its own Problem, so the fan-out is share-nothing — and joins
+// any errors. Callers write results into per-index slots, keeping the
+// output identical to the serial loop.
+func parallelConfigs(cfgs []string, fn func(ci int, cfg string) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(cfgs))
+	for ci, cfg := range cfgs {
+		wg.Add(1)
+		go func(ci int, cfg string) {
+			defer wg.Done()
+			errs[ci] = fn(ci, cfg)
+		}(ci, cfg)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// shortName maps mapper names to the paper's labels.
+func shortName(m mapping.Mapper) string {
+	n := m.Name()
+	switch {
+	case strings.HasPrefix(n, "MC"):
+		return "MC"
+	case strings.HasPrefix(n, "SA"):
+		return "SA"
+	default:
+		return n
+	}
+}

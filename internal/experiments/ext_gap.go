@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/mapping"
+	"obm/internal/workload"
+)
+
+func init() { register(extGap{}) }
+
+// extGap is an extension experiment: how close does each heuristic get
+// to the (NP-complete) optimum? An exact solve is infeasible at N=64,
+// so the yardstick is the Hungarian-relaxation lower bound of
+// core.LowerBound, which the exact-solver tests certify as valid.
+type extGap struct{}
+
+func (extGap) ID() string { return "gap" }
+func (extGap) Title() string {
+	return "Extension: optimality gap of the heuristics vs the Hungarian lower bound"
+}
+
+// GapResult holds per-config bounds and per-mapper objective values.
+type GapResult struct {
+	Configs []string
+	Bounds  []float64
+	Mappers []string
+	// Obj[m][c] is mapper m's max-APL on config c.
+	Obj [][]float64
+}
+
+func (g extGap) Run(o Options) (Result, error) {
+	cfgs := configsOrDefault(o, workload.ConfigNames())
+	mappers := append(standardMappers(o),
+		mapping.Greedy{},
+		mapping.BalancedGreedy{},
+		mapping.ClusterSA{Seed: o.Seed + 21},
+	)
+	res := &GapResult{Configs: cfgs}
+	for _, m := range mappers {
+		res.Mappers = append(res.Mappers, shortName(m))
+	}
+	res.Obj = make([][]float64, len(mappers))
+	for mi := range res.Obj {
+		res.Obj[mi] = make([]float64, len(cfgs))
+	}
+	for ci, cfg := range cfgs {
+		p, err := problemFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := p.LowerBound()
+		if err != nil {
+			return nil, err
+		}
+		res.Bounds = append(res.Bounds, lb)
+		for mi, m := range mappers {
+			mp, err := mapping.MapAndCheck(m, p)
+			if err != nil {
+				return nil, err
+			}
+			res.Obj[mi][ci] = p.MaxAPL(mp)
+		}
+	}
+	return res, nil
+}
+
+// gap returns mapper mi's average gap above the bound, in percent.
+func (r *GapResult) gap(mi int) float64 {
+	var s float64
+	for ci := range r.Configs {
+		s += 100 * (r.Obj[mi][ci] - r.Bounds[ci]) / r.Bounds[ci]
+	}
+	return s / float64(len(r.Configs))
+}
+
+func (r *GapResult) table() *table {
+	headers := append([]string{"Mapper"}, r.Configs...)
+	headers = append(headers, "avg gap %")
+	t := newTable("Optimality gap: max-APL over the Hungarian lower bound (percent)", headers...)
+	for mi, name := range r.Mappers {
+		cells := []string{name}
+		for ci := range r.Configs {
+			cells = append(cells, fmt.Sprintf("%.2f", 100*(r.Obj[mi][ci]-r.Bounds[ci])/r.Bounds[ci]))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", r.gap(mi)))
+		t.addRow(cells...)
+	}
+	bounds := []string{"(bound, cycles)"}
+	for _, b := range r.Bounds {
+		bounds = append(bounds, fmt.Sprintf("%.2f", b))
+	}
+	bounds = append(bounds, "")
+	t.addRow(bounds...)
+	return t
+}
+
+// Render implements Result.
+func (r *GapResult) Render() string {
+	return r.table().Render() +
+		"\n(the bound is max of per-app unconstrained optima and the optimal g-APL;\n" +
+		" the true optimum lies between the bound and the best heuristic)\n"
+}
+
+// CSV implements Result.
+func (r *GapResult) CSV() string { return r.table().CSV() }

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/noc"
+)
+
+func init() { register(extLoadSweep{}) }
+
+// extLoadSweep is a substrate-validation experiment: the classic
+// latency-vs-offered-load characterization of the flit-level simulator
+// under standard synthetic traffic patterns. It certifies the Garnet
+// substitute behaves like an interconnect: zero-load latency at light
+// loads, graceful rise, saturation under adversarial patterns.
+type extLoadSweep struct{}
+
+func (extLoadSweep) ID() string { return "loadsweep" }
+func (extLoadSweep) Title() string {
+	return "Extension: NoC latency/throughput vs offered load (simulator validation)"
+}
+
+// LoadSweepResult holds curves per pattern.
+type LoadSweepResult struct {
+	Patterns []string
+	ZeroLoad []float64
+	// Points[p] is the sweep for pattern p.
+	Points [][]noc.LoadPoint
+}
+
+func (e extLoadSweep) Run(o Options) (Result, error) {
+	cfg := noc.DefaultConfig()
+	sw := noc.DefaultSweepConfig()
+	sw.Seed = o.Seed + 41
+	if o.Quick {
+		sw.Rates = []float64{0.01, 0.04, 0.12}
+		sw.Cycles = 8_000
+	}
+	pats := []noc.Pattern{
+		noc.UniformRandom{},
+		noc.Transpose{},
+		noc.BitComplement{},
+		noc.Hotspot{Hot: 27, Frac: 0.2},
+	}
+	res := &LoadSweepResult{}
+	for _, pat := range pats {
+		pts, err := noc.LoadSweep(cfg, pat, sw)
+		if err != nil {
+			return nil, err
+		}
+		zl, err := noc.ZeroLoadLatency(cfg, pat, 200_000, sw.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Patterns = append(res.Patterns, pat.Name())
+		res.ZeroLoad = append(res.ZeroLoad, zl)
+		res.Points = append(res.Points, pts)
+	}
+	return res, nil
+}
+
+func (r *LoadSweepResult) table() *table {
+	t := newTable("NoC load sweep: avg latency (cycles) by offered load (packets/tile/cycle)",
+		"Pattern", "zero-load", "rate", "latency", "throughput", "saturated")
+	for pi, name := range r.Patterns {
+		for _, pt := range r.Points[pi] {
+			t.addRow(name,
+				fmt.Sprintf("%.2f", r.ZeroLoad[pi]),
+				fmt.Sprintf("%.3f", pt.InjectionRate),
+				fmt.Sprintf("%.2f", pt.AvgLatency),
+				fmt.Sprintf("%.4f", pt.Throughput),
+				fmt.Sprint(pt.Saturated))
+		}
+	}
+	return t
+}
+
+// Render implements Result.
+func (r *LoadSweepResult) Render() string {
+	return r.table().Render() +
+		"\n(latency hugs the zero-load bound at light loads and rises toward\n" +
+		" saturation; adversarial patterns saturate earlier than uniform)\n"
+}
+
+// CSV implements Result.
+func (r *LoadSweepResult) CSV() string { return r.table().CSV() }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/core"
+	"obm/internal/mapping"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/stats"
+	"obm/internal/workload"
+)
+
+func init() { register(extTopology{}) }
+
+// extTopology is an extension experiment: the OBM problem on a torus.
+// A torus is vertex-transitive, so the shared-cache latency TC(k) is
+// identical on every tile — the imbalance the paper's algorithm fights
+// is largely an artifact of the mesh's edges. The residual imbalance
+// comes only from the memory-controller distances, which is much
+// smaller. The experiment quantifies both the problem shrinking and how
+// much the algorithms still matter.
+type extTopology struct{}
+
+func (extTopology) ID() string { return "topology" }
+func (extTopology) Title() string {
+	return "Extension: the OBM problem on a torus (wrap-around links)"
+}
+
+// TopologyRow compares one (topology, config) pair.
+type TopologyRow struct {
+	Topology             string
+	Config               string
+	TCSpread             float64 // max-min of TC(k)
+	RandDev              float64 // random-mapping average dev-APL
+	GlobalMax, GlobalDev float64
+	SSSMax, SSSDev       float64
+}
+
+// TopologyResult is the comparison table.
+type TopologyResult struct {
+	Rows []TopologyRow
+}
+
+func (e extTopology) Run(o Options) (Result, error) {
+	cfgs := configsOrDefault(o, []string{"C1", "C4"})
+	msh := mesh.MustNew(8, 8)
+	build := func(torus bool) (*model.LatencyModel, error) {
+		if torus {
+			return model.NewTorus(msh, model.DefaultParams(), model.CornersPlacement(msh))
+		}
+		return model.New(msh, model.DefaultParams())
+	}
+	res := &TopologyResult{}
+	for _, torus := range []bool{false, true} {
+		lm, err := build(torus)
+		if err != nil {
+			return nil, err
+		}
+		tcs := lm.TCArray()
+		spread := stats.MustMax(tcs) - stats.MustMin(tcs)
+		for _, cfg := range cfgs {
+			w, err := workload.Config(cfg)
+			if err != nil {
+				return nil, err
+			}
+			p, err := core.NewProblem(lm, w)
+			if err != nil {
+				return nil, err
+			}
+			row := TopologyRow{Topology: lm.Topology().String(), Config: cfg, TCSpread: spread}
+			rng := stats.NewRand(o.Seed + 61)
+			draws := 300
+			for i := 0; i < draws; i++ {
+				row.RandDev += p.Evaluate(core.RandomMapping(p.N(), rng)).DevAPL
+			}
+			row.RandDev /= float64(draws)
+			gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+			if err != nil {
+				return nil, err
+			}
+			sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+			if err != nil {
+				return nil, err
+			}
+			evG, evS := p.Evaluate(gm), p.Evaluate(sm)
+			row.GlobalMax, row.GlobalDev = evG.MaxAPL, evG.DevAPL
+			row.SSSMax, row.SSSDev = evS.MaxAPL, evS.DevAPL
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func (r *TopologyResult) table() *table {
+	t := newTable("OBM on mesh vs torus (8x8, corner controllers)",
+		"Topology", "Config", "TC spread", "rand dev", "Global max/dev", "SSS max/dev")
+	for _, row := range r.Rows {
+		t.addRow(row.Topology, row.Config,
+			fmt.Sprintf("%.2f", row.TCSpread),
+			fmt.Sprintf("%.3f", row.RandDev),
+			fmt.Sprintf("%.2f / %.3f", row.GlobalMax, row.GlobalDev),
+			fmt.Sprintf("%.2f / %.3f", row.SSSMax, row.SSSDev))
+	}
+	return t
+}
+
+// Render implements Result.
+func (r *TopologyResult) Render() string {
+	return r.table().Render() +
+		"\n(on the torus TC(k) is constant — the cache-side imbalance vanishes by\n" +
+		" construction and only the memory-controller component remains, so both\n" +
+		" the problem and the gains shrink; wrap-around links are how hardware\n" +
+		" 'solves' what the paper solves in software on a mesh)\n"
+}
+
+// CSV implements Result.
+func (r *TopologyResult) CSV() string { return r.table().CSV() }

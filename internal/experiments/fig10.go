@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"obm/internal/mapping"
+	"obm/internal/workload"
+)
+
+func init() { register(fig10{}) }
+
+// fig10 reproduces Figure 10: global APL of the four methods,
+// normalized to Global (which is optimal for this metric by
+// construction). The paper reports all three balancing methods within
+// 6% of Global, SSS best at <3.82%.
+type fig10 struct{}
+
+func (fig10) ID() string    { return "fig10" }
+func (fig10) Title() string { return "Figure 10: normalized global APL of the four mapping methods" }
+
+func (f fig10) Run(o Options) (Result, error) {
+	cfgs := configsOrDefault(o, workload.ConfigNames())
+	mappers := standardMappers(o)
+	res := &MapperSeries{
+		Caption:    "Figure 10: g-APL normalized to Global",
+		Configs:    cfgs,
+		Unit:       "normalized",
+		Normalized: true,
+		PaperNote:  "paper: SSS loses <3.82% g-APL vs Global; SA 4.82%, MC 5.35%",
+	}
+	for _, m := range mappers {
+		res.Mappers = append(res.Mappers, shortName(m))
+	}
+	res.Values = make([][]float64, len(mappers))
+	for mi := range mappers {
+		res.Values[mi] = make([]float64, len(cfgs))
+	}
+	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+		p, err := problemFor(cfg)
+		if err != nil {
+			return err
+		}
+		for mi, m := range mappers {
+			mp, err := mapping.MapAndCheck(m, p)
+			if err != nil {
+				return err
+			}
+			res.Values[mi][ci] = p.GlobalAPL(mp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

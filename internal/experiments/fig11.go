@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"obm/internal/mapping"
+	"obm/internal/power"
+	"obm/internal/sim"
+)
+
+func init() { register(fig11{}) }
+
+// fig11 reproduces Figure 11: dynamic NoC power of the four mapping
+// methods, measured by running the flit-level simulator under each
+// mapping and feeding the flit-activity counts to the DSENT-style power
+// model. The paper reports SSS within 2.7% of Global.
+type fig11 struct{}
+
+func (fig11) ID() string    { return "fig11" }
+func (fig11) Title() string { return "Figure 11: dynamic NoC power comparison" }
+
+func (f fig11) Run(o Options) (Result, error) {
+	// Simulation is the expensive part; the paper's power story is the
+	// same on every configuration, so the default set is trimmed.
+	cfgs := configsOrDefault(o, []string{"C1", "C3", "C5", "C7"})
+	if o.Quick {
+		cfgs = configsOrDefault(o, []string{"C1", "C5"})
+	}
+	mappers := standardMappers(o)
+	res := &MapperSeries{
+		Caption:    "Figure 11: dynamic NoC power normalized to Global",
+		Configs:    cfgs,
+		Unit:       "normalized W",
+		Normalized: true,
+		PaperNote:  "paper: SSS overhead <2.7% vs Global, slightly better than MC and SA",
+	}
+	for _, m := range mappers {
+		res.Mappers = append(res.Mappers, shortName(m))
+	}
+	scfg := sim.DefaultRateDrivenConfig()
+	scfg.Seed = o.Seed + 11
+	if o.Quick {
+		scfg.MeasureCycles = 40_000
+	}
+	pparams := power.Default45nm()
+	res.Values = make([][]float64, len(mappers))
+	for mi := range mappers {
+		res.Values[mi] = make([]float64, len(cfgs))
+	}
+	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+		for mi, m := range mappers {
+			p, err := problemFor(cfg)
+			if err != nil {
+				return err
+			}
+			mp, err := mapping.MapAndCheck(m, p)
+			if err != nil {
+				return err
+			}
+			sr, err := sim.RateDriven(p, mp, scfg)
+			if err != nil {
+				return err
+			}
+			msh := p.Model().Mesh()
+			rep, err := power.Estimate(pparams, sr.Net, msh.NumTiles(),
+				power.MeshLinkCount(msh.Rows(), msh.Cols()))
+			if err != nil {
+				return err
+			}
+			res.Values[mi][ci] = rep.DynamicW
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

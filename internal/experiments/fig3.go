@@ -1,0 +1,69 @@
+package experiments
+
+import "obm/internal/mesh"
+
+func init() { register(fig3{}) }
+
+// fig3 reproduces Figure 3: per-tile average packet latencies on the
+// 8x8 mesh for (a) shared-cache traffic and (b) memory-controller
+// traffic, rendered as shaded heatmaps plus the raw values.
+type fig3 struct{}
+
+func (fig3) ID() string    { return "fig3" }
+func (fig3) Title() string { return "Figure 3: packet latencies on an 8x8 mesh network" }
+
+// Fig3Result carries the two per-tile latency fields.
+type Fig3Result struct {
+	TC, TM [][]float64
+}
+
+func (f fig3) Run(o Options) (Result, error) {
+	lm := paperModel()
+	msh := lm.Mesh()
+	res := &Fig3Result{
+		TC: make([][]float64, msh.Rows()),
+		TM: make([][]float64, msh.Rows()),
+	}
+	for r := 0; r < msh.Rows(); r++ {
+		res.TC[r] = make([]float64, msh.Cols())
+		res.TM[r] = make([]float64, msh.Cols())
+		for c := 0; c < msh.Cols(); c++ {
+			t := msh.TileAt(r, c)
+			res.TC[r][c] = lm.TC(t)
+			res.TM[r][c] = lm.TM(t)
+		}
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *Fig3Result) Render() string {
+	return renderHeatmap("Figure 3a: L2 cache access latency TC(k) (darker = slower)", r.TC) +
+		"\n" +
+		renderHeatmap("Figure 3b: memory-controller access latency TM(k) (darker = slower)", r.TM) +
+		"\n(cache latency is lowest in the chip center; memory latency lowest at the corners)\n"
+}
+
+// CSV implements Result.
+func (r *Fig3Result) CSV() string {
+	t := newTable("", "row", "col", "TC", "TM")
+	for row := range r.TC {
+		for col := range r.TC[row] {
+			t.addRowf("%.4f", row, col, r.TC[row][col], r.TM[row][col])
+		}
+	}
+	return t.CSV()
+}
+
+// tileGridFloats is a helper for examples: it lays out a per-tile value
+// function over a mesh as a 2D slice.
+func tileGridFloats(msh *mesh.Mesh, f func(mesh.Tile) float64) [][]float64 {
+	out := make([][]float64, msh.Rows())
+	for r := 0; r < msh.Rows(); r++ {
+		out[r] = make([]float64, msh.Cols())
+		for c := 0; c < msh.Cols(); c++ {
+			out[r][c] = f(msh.TileAt(r, c))
+		}
+	}
+	return out
+}

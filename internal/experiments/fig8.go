@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/mapping"
+)
+
+func init() { register(fig8{}) }
+
+// fig8 reproduces Figure 8: the sort-select-swap mapping of C1 (a) and
+// the per-application APL comparison against Global (b).
+type fig8 struct{}
+
+func (fig8) ID() string    { return "fig8" }
+func (fig8) Title() string { return "Figure 8: SSS mapping result and APL comparison of C1" }
+
+// Fig8Result pairs the SSS grid with the per-application APLs of both
+// mappers.
+type Fig8Result struct {
+	Grid                [][]int
+	SSSAPLs, GlobalAPLs []float64
+	SSSMax, GlobalMax   float64
+}
+
+func (f fig8) Run(o Options) (Result, error) {
+	p, err := problemFor("C1")
+	if err != nil {
+		return nil, err
+	}
+	sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+	if err != nil {
+		return nil, err
+	}
+	evS := p.Evaluate(sm)
+	evG := p.Evaluate(gm)
+	return &Fig8Result{
+		Grid:       p.AppGrid(sm),
+		SSSAPLs:    evS.APLs,
+		GlobalAPLs: evG.APLs,
+		SSSMax:     evS.MaxAPL,
+		GlobalMax:  evG.MaxAPL,
+	}, nil
+}
+
+// Render implements Result.
+func (r *Fig8Result) Render() string {
+	s := renderGrid("Figure 8a: SSS mapping result of C1 (cell = application ID)", r.Grid)
+	t := newTable("Figure 8b: per-application APL comparison (cycles)",
+		"App", "Global", "SSS", "delta")
+	for i := range r.SSSAPLs {
+		t.addRow(fmt.Sprint(i+1),
+			fmt.Sprintf("%.2f", r.GlobalAPLs[i]),
+			fmt.Sprintf("%.2f", r.SSSAPLs[i]),
+			fmt.Sprintf("%+.2f", r.SSSAPLs[i]-r.GlobalAPLs[i]))
+	}
+	s += "\n" + t.Render()
+	s += fmt.Sprintf("\nmax-APL: Global %.2f -> SSS %.2f (%.2f%% lower); SSS APLs nearly equal\n",
+		r.GlobalMax, r.SSSMax, 100*(r.GlobalMax-r.SSSMax)/r.GlobalMax)
+	return s
+}
+
+// CSV implements Result.
+func (r *Fig8Result) CSV() string {
+	t := newTable("", "app", "global_apl", "sss_apl")
+	for i := range r.SSSAPLs {
+		t.addRow(fmt.Sprint(i+1), fmt.Sprintf("%.4f", r.GlobalAPLs[i]), fmt.Sprintf("%.4f", r.SSSAPLs[i]))
+	}
+	return t.CSV()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/mapping"
+	"obm/internal/workload"
+)
+
+func init() { register(fig9{}) }
+
+// fig9 reproduces Figure 9: the max-APL of the four mapping methods on
+// each configuration (the paper's headline 10.42% SSS-vs-Global
+// reduction).
+type fig9 struct{}
+
+func (fig9) ID() string    { return "fig9" }
+func (fig9) Title() string { return "Figure 9: max-APL comparison of the four mapping methods" }
+
+// MapperSeries holds one metric per (mapper, config) — shared by the
+// fig9/fig10/fig11 bar charts.
+type MapperSeries struct {
+	Caption string
+	Configs []string
+	Mappers []string
+	// Values[m][c] is the metric of mapper m on config c.
+	Values [][]float64
+	// Unit labels the metric.
+	Unit string
+	// PaperNote cites the paper's corresponding number.
+	PaperNote string
+	// Normalized optionally divides each column by the first mapper's
+	// value when rendering.
+	Normalized bool
+}
+
+func (f fig9) Run(o Options) (Result, error) {
+	cfgs := configsOrDefault(o, workload.ConfigNames())
+	mappers := standardMappers(o)
+	res := &MapperSeries{
+		Caption:   "Figure 9: max-APL (cycles)",
+		Configs:   cfgs,
+		Unit:      "cycles",
+		PaperNote: "paper: SSS reduces max-APL vs Global by 10.42% on average (MC 8.74%, SA 9.44%)",
+	}
+	for _, m := range mappers {
+		res.Mappers = append(res.Mappers, shortName(m))
+	}
+	res.Values = make([][]float64, len(mappers))
+	for mi := range mappers {
+		res.Values[mi] = make([]float64, len(cfgs))
+	}
+	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+		p, err := problemFor(cfg)
+		if err != nil {
+			return err
+		}
+		for mi, m := range mappers {
+			mp, err := mapping.MapAndCheck(m, p)
+			if err != nil {
+				return err
+			}
+			res.Values[mi][ci] = p.MaxAPL(mp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (r *MapperSeries) avg(mi int) float64 {
+	var s float64
+	for _, v := range r.Values[mi] {
+		s += v
+	}
+	return s / float64(len(r.Values[mi]))
+}
+
+func (r *MapperSeries) table() *table {
+	headers := append([]string{"Mapper"}, r.Configs...)
+	headers = append(headers, "Avg")
+	t := newTable(r.Caption, headers...)
+	for mi, name := range r.Mappers {
+		cells := []string{name}
+		for ci, v := range r.Values[mi] {
+			if r.Normalized && r.Values[0][ci] != 0 {
+				cells = append(cells, fmt.Sprintf("%.4f", v/r.Values[0][ci]))
+			} else {
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			}
+		}
+		if r.Normalized && r.avg(0) != 0 {
+			cells = append(cells, fmt.Sprintf("%.4f", r.avg(mi)/r.avg(0)))
+		} else {
+			cells = append(cells, fmt.Sprintf("%.3f", r.avg(mi)))
+		}
+		t.addRow(cells...)
+	}
+	return t
+}
+
+// Render implements Result.
+func (r *MapperSeries) Render() string {
+	s := r.table().Render()
+	avgs := make([]float64, len(r.Mappers))
+	for mi := range r.Mappers {
+		avgs[mi] = r.avg(mi)
+		if r.Normalized && r.avg(0) != 0 {
+			avgs[mi] /= r.avg(0)
+		}
+	}
+	s += "\n" + renderBars("averages:", r.Mappers, avgs, r.Unit)
+	// Relative-to-first-mapper summary (first is Global by convention).
+	if len(r.Mappers) > 1 && r.avg(0) > 0 {
+		for mi := 1; mi < len(r.Mappers); mi++ {
+			s += fmt.Sprintf("%s vs %s: %+.2f%%\n", r.Mappers[mi], r.Mappers[0],
+				100*(r.avg(mi)-r.avg(0))/r.avg(0))
+		}
+	}
+	if r.PaperNote != "" {
+		s += "(" + r.PaperNote + ")\n"
+	}
+	return s
+}
+
+// CSV implements Result.
+func (r *MapperSeries) CSV() string { return r.table().CSV() }

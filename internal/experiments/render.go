@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// table accumulates rows and renders them with aligned columns, in the
+// visual style of the paper's tables.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func newTable(title string, headers ...string) *table {
+	return &table{title: title, headers: headers}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) addRowf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf(format, v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, parts)
+}
+
+// Render returns the aligned text table.
+func (t *table) Render() string {
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title + "\n")
+	}
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.headers, "\t"))
+	sep := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *table) CSV() string {
+	var sb strings.Builder
+	writeCSVRow(&sb, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(&sb, row)
+	}
+	return sb.String()
+}
+
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+		} else {
+			sb.WriteString(c)
+		}
+	}
+	sb.WriteByte('\n')
+}
+
+// renderGrid draws a rows x cols grid of small integers, the format of
+// the paper's mapping figures (Figures 4 and 8a).
+func renderGrid(title string, grid [][]int) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	for _, row := range grid {
+		sb.WriteString("  ")
+		for _, v := range row {
+			fmt.Fprintf(&sb, "%2d ", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// renderHeatmap draws per-tile float values with a shade character
+// ramp, the format of the paper's Figure 3.
+func renderHeatmap(title string, vals [][]float64) string {
+	var mn, mx float64
+	first := true
+	for _, row := range vals {
+		for _, v := range row {
+			if first || v < mn {
+				mn = v
+			}
+			if first || v > mx {
+				mx = v
+			}
+			first = false
+		}
+	}
+	ramp := []rune(" .:-=+*#%@")
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	for _, row := range vals {
+		sb.WriteString("  ")
+		for _, v := range row {
+			idx := 0
+			if mx > mn {
+				idx = int((v - mn) / (mx - mn) * float64(len(ramp)-1))
+			}
+			ch := ramp[idx]
+			fmt.Fprintf(&sb, "%c%c", ch, ch)
+		}
+		sb.WriteString("   ")
+		for _, v := range row {
+			fmt.Fprintf(&sb, "%5.1f ", v)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "  (range %.2f .. %.2f cycles)\n", mn, mx)
+	return sb.String()
+}
+
+// multi concatenates several Results into one.
+type multi struct {
+	parts []Result
+}
+
+func (m multi) Render() string {
+	var sb strings.Builder
+	for i, p := range m.parts {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(p.Render())
+	}
+	return sb.String()
+}
+
+func (m multi) CSV() string {
+	var sb strings.Builder
+	for i, p := range m.parts {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(p.CSV())
+	}
+	return sb.String()
+}
+
+// text is a Result that is plain prose in both forms.
+type text string
+
+func (t text) Render() string { return string(t) }
+func (t text) CSV() string    { return string(t) }
+
+// renderBars draws a horizontal ASCII bar chart, the closest a terminal
+// gets to the paper's bar figures. Bars scale to the largest value.
+func renderBars(title string, labels []string, values []float64, unit string) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	var mx float64
+	wl := 0
+	for i, v := range values {
+		if v > mx {
+			mx = v
+		}
+		if len(labels[i]) > wl {
+			wl = len(labels[i])
+		}
+	}
+	const width = 40
+	for i, v := range values {
+		n := 0
+		if mx > 0 {
+			n = int(v / mx * width)
+		}
+		fmt.Fprintf(&sb, "  %-*s %-*s %.3f %s\n", wl, labels[i], width, strings.Repeat("#", n), v, unit)
+	}
+	return sb.String()
+}

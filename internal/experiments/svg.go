@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/viz"
+)
+
+// Figurer is implemented by results that can render themselves as SVG
+// figures; the map key becomes the file stem (e.g. "fig3a" →
+// fig3a.svg). cmd/obmsim writes these when -svgdir is set.
+type Figurer interface {
+	SVGFigures() map[string][]byte
+}
+
+// SVGFigures implements Figurer for the Figure 3 heatmaps.
+func (r *Fig3Result) SVGFigures() map[string][]byte {
+	return map[string][]byte{
+		"fig3a-cache-latency":  viz.Heatmap("L2 cache access latency TC(k), cycles", r.TC),
+		"fig3b-memory-latency": viz.Heatmap("Memory-controller access latency TM(k), cycles", r.TM),
+	}
+}
+
+// SVGFigures implements Figurer for mapping grids (Figure 4).
+func (r *FigMappingResult) SVGFigures() map[string][]byte {
+	return map[string][]byte{
+		"fig4-global-mapping": viz.Grid("Global mapping of C1 (application IDs)", r.Grid),
+	}
+}
+
+// SVGFigures implements Figurer for Figure 8: the SSS grid plus the
+// per-application APL bars.
+func (r *Fig8Result) SVGFigures() map[string][]byte {
+	apps := make([]string, len(r.SSSAPLs))
+	for i := range apps {
+		apps[i] = fmt.Sprintf("app %d", i+1)
+	}
+	return map[string][]byte{
+		"fig8a-sss-mapping": viz.Grid("SSS mapping of C1 (application IDs)", r.Grid),
+		"fig8b-apl-comparison": viz.Bars("Per-application APL on C1",
+			apps, []string{"Global", "SSS"},
+			[][]float64{r.GlobalAPLs, r.SSSAPLs}, "cycles"),
+	}
+}
+
+// SVGFigures implements Figurer for the grouped-bar series experiments
+// (Figures 9, 10, 11).
+func (r *MapperSeries) SVGFigures() map[string][]byte {
+	values := r.Values
+	if r.Normalized {
+		values = make([][]float64, len(r.Values))
+		for mi := range r.Values {
+			values[mi] = make([]float64, len(r.Values[mi]))
+			for ci := range r.Values[mi] {
+				if r.Values[0][ci] != 0 {
+					values[mi][ci] = r.Values[mi][ci] / r.Values[0][ci]
+				}
+			}
+		}
+	}
+	return map[string][]byte{
+		slugify(r.Caption): viz.Bars(r.Caption, r.Configs, r.Mappers, values, r.Unit),
+	}
+}
+
+// SVGFigures implements Figurer for Figure 12.
+func (r *Fig12Result) SVGFigures() map[string][]byte {
+	sss := make([]float64, len(r.Multipliers))
+	for i := range sss {
+		sss[i] = r.SSSMaxAPL
+	}
+	return map[string][]byte{
+		"fig12-sa-vs-runtime": viz.Lines("SA quality vs runtime budget",
+			"SA runtime (x SSS, log-ish spacing)", "max-APL (cycles)",
+			r.Multipliers, []string{"SA", "SSS"},
+			map[string][]float64{"SA": r.SAMaxAPL, "SSS": sss}),
+	}
+}
+
+// SVGFigures implements Figurer for the load sweep.
+func (r *LoadSweepResult) SVGFigures() map[string][]byte {
+	if len(r.Points) == 0 {
+		return nil
+	}
+	xs := make([]float64, len(r.Points[0]))
+	for i, pt := range r.Points[0] {
+		xs[i] = pt.InjectionRate
+	}
+	series := map[string][]float64{}
+	for pi, name := range r.Patterns {
+		ys := make([]float64, len(r.Points[pi]))
+		for i, pt := range r.Points[pi] {
+			ys[i] = pt.AvgLatency
+		}
+		series[name] = ys
+	}
+	return map[string][]byte{
+		"loadsweep-latency": viz.Lines("Latency vs offered load",
+			"packets/tile/cycle", "avg latency (cycles)", xs, r.Patterns, series),
+	}
+}
+
+// slugify turns a caption into a safe file stem.
+func slugify(s string) string {
+	out := make([]rune, 0, len(s))
+	lastDash := true
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+			lastDash = false
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+			lastDash = false
+		default:
+			if !lastDash {
+				out = append(out, '-')
+				lastDash = true
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '-' {
+		out = out[:len(out)-1]
+	}
+	if len(out) > 48 {
+		out = out[:48]
+	}
+	return string(out)
+}

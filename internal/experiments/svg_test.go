@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigurersProduceSVG: every experiment result that implements
+// Figurer emits non-empty, svg-prefixed documents with sane names.
+func TestFigurersProduceSVG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments; skip under -short")
+	}
+	figurers := []string{"fig3", "fig4", "fig8", "fig9", "fig10", "fig12", "loadsweep"}
+	for _, id := range figurers {
+		r, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		fig, ok := res.(Figurer)
+		if !ok {
+			t.Errorf("%s result does not implement Figurer", id)
+			continue
+		}
+		figs := fig.SVGFigures()
+		if len(figs) == 0 {
+			t.Errorf("%s produced no figures", id)
+		}
+		for stem, svg := range figs {
+			if stem == "" || strings.ContainsAny(stem, " /\\") {
+				t.Errorf("%s: bad figure stem %q", id, stem)
+			}
+			if !bytes.HasPrefix(svg, []byte("<svg ")) {
+				t.Errorf("%s/%s: output does not start with <svg", id, stem)
+			}
+			if !bytes.HasSuffix(bytes.TrimSpace(svg), []byte("</svg>")) {
+				t.Errorf("%s/%s: output not closed", id, stem)
+			}
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Figure 9: max-APL (cycles)": "figure-9-max-apl-cycles",
+		"ALL CAPS":                   "all-caps",
+		"--weird--":                  "weird",
+		"":                           "",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := slugify(strings.Repeat("abc ", 40))
+	if len(long) > 48 {
+		t.Errorf("slug too long: %d", len(long))
+	}
+}

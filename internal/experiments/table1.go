@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/core"
+	"obm/internal/mapping"
+	"obm/internal/stats"
+)
+
+func init() { register(table1{}) }
+
+// table1 reproduces Table 1 of the paper: how global-latency
+// optimization exacerbates the imbalance between applications. For each
+// configuration it reports the average g-APL, max-APL and dev-APL over
+// many random mappings against the Global mapper's values.
+type table1 struct{}
+
+func (table1) ID() string { return "table1" }
+func (table1) Title() string {
+	return "Table 1: imbalance exacerbation by global optimization"
+}
+
+// Table1Row holds one configuration's comparison.
+type Table1Row struct {
+	Config                   string
+	RandGAPL, GlobalGAPL     float64
+	RandMaxAPL, GlobalMaxAPL float64
+	RandDevAPL, GlobalDevAPL float64
+}
+
+// Table1Result is the full table with averages.
+type Table1Result struct {
+	Rows []Table1Row
+	Avg  Table1Row
+}
+
+func (t table1) Run(o Options) (Result, error) {
+	cfgs := configsOrDefault(o, []string{"C1", "C2", "C3", "C4"})
+	res := &Table1Result{}
+	for _, cfg := range cfgs {
+		p, err := problemFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Config: cfg}
+		rng := stats.NewRand(o.Seed + 100)
+		draws := o.RandomDraws()
+		for i := 0; i < draws; i++ {
+			ev := p.Evaluate(core.RandomMapping(p.N(), rng))
+			row.RandGAPL += ev.GlobalAPL
+			row.RandMaxAPL += ev.MaxAPL
+			row.RandDevAPL += ev.DevAPL
+		}
+		row.RandGAPL /= float64(draws)
+		row.RandMaxAPL /= float64(draws)
+		row.RandDevAPL /= float64(draws)
+
+		gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+		if err != nil {
+			return nil, err
+		}
+		ev := p.Evaluate(gm)
+		row.GlobalGAPL = ev.GlobalAPL
+		row.GlobalMaxAPL = ev.MaxAPL
+		row.GlobalDevAPL = ev.DevAPL
+		res.Rows = append(res.Rows, row)
+
+		res.Avg.RandGAPL += row.RandGAPL
+		res.Avg.RandMaxAPL += row.RandMaxAPL
+		res.Avg.RandDevAPL += row.RandDevAPL
+		res.Avg.GlobalGAPL += row.GlobalGAPL
+		res.Avg.GlobalMaxAPL += row.GlobalMaxAPL
+		res.Avg.GlobalDevAPL += row.GlobalDevAPL
+	}
+	n := float64(len(res.Rows))
+	res.Avg.Config = "Avg"
+	res.Avg.RandGAPL /= n
+	res.Avg.RandMaxAPL /= n
+	res.Avg.RandDevAPL /= n
+	res.Avg.GlobalGAPL /= n
+	res.Avg.GlobalMaxAPL /= n
+	res.Avg.GlobalDevAPL /= n
+	return res, nil
+}
+
+func (r *Table1Result) table() *table {
+	t := newTable("Table 1: imbalance exacerbation by global optimization (cycles)",
+		"Config", "g-APL rand", "g-APL Global", "max-APL rand", "max-APL Global", "dev-APL rand", "dev-APL Global")
+	emit := func(row Table1Row) {
+		t.addRow(row.Config,
+			fmt.Sprintf("%.2f", row.RandGAPL), fmt.Sprintf("%.2f", row.GlobalGAPL),
+			fmt.Sprintf("%.2f", row.RandMaxAPL), fmt.Sprintf("%.2f", row.GlobalMaxAPL),
+			fmt.Sprintf("%.3f", row.RandDevAPL), fmt.Sprintf("%.3f", row.GlobalDevAPL))
+	}
+	for _, row := range r.Rows {
+		emit(row)
+	}
+	emit(r.Avg)
+	return t
+}
+
+// Render implements Result.
+func (r *Table1Result) Render() string {
+	s := r.table().Render()
+	s += fmt.Sprintf("\nGlobal vs random: g-APL %+.2f%%, max-APL %+.2f%%, dev-APL x%.2f\n",
+		100*(r.Avg.GlobalGAPL-r.Avg.RandGAPL)/r.Avg.RandGAPL,
+		100*(r.Avg.GlobalMaxAPL-r.Avg.RandMaxAPL)/r.Avg.RandMaxAPL,
+		r.Avg.GlobalDevAPL/r.Avg.RandDevAPL)
+	s += "(paper: -4.78% g-APL, +9.85% max-APL, ~3.4x dev-APL)\n"
+	return s
+}
+
+// CSV implements Result.
+func (r *Table1Result) CSV() string { return r.table().CSV() }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"obm/internal/workload"
+)
+
+func init() { register(table3{}) }
+
+// table3 reproduces Table 3: the per-configuration traffic statistics
+// of the synthetic workloads against the paper's published targets,
+// demonstrating the moment-matched substitution for PARSEC traces.
+type table3 struct{}
+
+func (table3) ID() string    { return "table3" }
+func (table3) Title() string { return "Table 3: configuration rate statistics vs paper targets" }
+
+// Table3Row compares one configuration against its target.
+type Table3Row struct {
+	Config        string
+	Got, Want     workload.RateStats
+	CacheMemRatio float64
+}
+
+// Table3Result is the whole table.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+func (t table3) Run(o Options) (Result, error) {
+	cfgs := configsOrDefault(o, workload.ConfigNames())
+	res := &Table3Result{}
+	for _, cfg := range cfgs {
+		w, err := workload.Config(cfg)
+		if err != nil {
+			return nil, err
+		}
+		got := w.ComputeRateStats()
+		row := Table3Row{Config: cfg, Got: got, Want: workload.Table3[cfg]}
+		if got.Mem.Mean > 0 {
+			row.CacheMemRatio = got.Cache.Mean / got.Mem.Mean
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (r *Table3Result) table() *table {
+	t := newTable("Table 3: communication-rate statistics (generated vs paper)",
+		"Config", "cache mean", "(paper)", "cache std", "(paper)", "mem mean", "(paper)", "mem std", "(paper)", "cache:mem")
+	for _, row := range r.Rows {
+		t.addRow(row.Config,
+			fmt.Sprintf("%.3f", row.Got.Cache.Mean), fmt.Sprintf("%.3f", row.Want.Cache.Mean),
+			fmt.Sprintf("%.3f", row.Got.Cache.Std), fmt.Sprintf("%.3f", row.Want.Cache.Std),
+			fmt.Sprintf("%.3f", row.Got.Mem.Mean), fmt.Sprintf("%.3f", row.Want.Mem.Mean),
+			fmt.Sprintf("%.3f", row.Got.Mem.Std), fmt.Sprintf("%.3f", row.Want.Mem.Std),
+			fmt.Sprintf("%.2f", row.CacheMemRatio))
+	}
+	return t
+}
+
+// Render implements Result.
+func (r *Table3Result) Render() string {
+	return r.table().Render() +
+		"\n(paper 'Std-dev' columns read as variances; targets shown are their square roots — see DESIGN.md)\n"
+}
+
+// CSV implements Result.
+func (r *Table3Result) CSV() string { return r.table().CSV() }

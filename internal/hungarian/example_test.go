@@ -1,0 +1,25 @@
+package hungarian_test
+
+import (
+	"fmt"
+
+	"obm/internal/hungarian"
+)
+
+// Assign three workers to three jobs at minimum total cost.
+func ExampleSolve() {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := hungarian.Solve(cost)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("assignment:", assign)
+	fmt.Println("total cost:", total)
+	// Output:
+	// assignment: [1 0 2]
+	// total cost: 5
+}

@@ -1,0 +1,128 @@
+// Package hungarian solves the linear assignment problem in O(n^3) time
+// using the Hungarian method in its shortest-augmenting-path (Jonker–
+// Volgenant) formulation with dual potentials.
+//
+// The paper's SAM subproblem (Section IV.A, Algorithm 1) assigns the
+// threads of one application to a set of tiles so that the application's
+// total packet latency is minimized; its cost matrix entry is
+// cost[j][k] = c_j*TC(k) + m_j*TM(k). The Global baseline solves the same
+// problem over the whole chip.
+package hungarian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidCost is returned when a cost matrix contains NaN or -Inf, or
+// is ragged/empty.
+var ErrInvalidCost = errors.New("hungarian: invalid cost matrix")
+
+// Solve finds, for an n x m cost matrix with n <= m, an assignment of
+// every row to a distinct column minimizing the total cost. It returns
+// rowToCol (length n) and the minimal total cost.
+func Solve(cost [][]float64) (rowToCol []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("%w: empty matrix", ErrInvalidCost)
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("%w: %d rows > %d cols", ErrInvalidCost, n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("%w: ragged row %d", ErrInvalidCost, i)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, -1) {
+				return nil, 0, fmt.Errorf("%w: cost[%d][%d] = %v", ErrInvalidCost, i, j, c)
+			}
+		}
+	}
+
+	// Shortest augmenting path with potentials; 1-based internal arrays
+	// with index 0 as the virtual root of each augmentation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row matched to column j (0 = none)
+	way := make([]int, m+1) // way[j]: previous column on the alternating path
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = math.Inf(1)
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 {
+				// Unreachable for finite costs; guards +Inf-only rows.
+				return nil, 0, fmt.Errorf("%w: no augmenting path (all-Inf row?)", ErrInvalidCost)
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][rowToCol[i]]
+	}
+	return rowToCol, total, nil
+}
+
+// SolveMax finds the assignment maximizing total cost, by negating the
+// matrix. Provided for completeness (e.g. reward-form formulations).
+func SolveMax(cost [][]float64) (rowToCol []int, total float64, err error) {
+	neg := make([][]float64, len(cost))
+	for i, row := range cost {
+		neg[i] = make([]float64, len(row))
+		for j, c := range row {
+			neg[i][j] = -c
+		}
+	}
+	rowToCol, negTotal, err := Solve(neg)
+	return rowToCol, -negTotal, err
+}

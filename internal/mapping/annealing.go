@@ -1,0 +1,83 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/core"
+	"obm/internal/stats"
+)
+
+// Annealing is the simulated-annealing baseline of Section V.A: a random
+// "move" swaps the tile assignments of two randomly chosen threads, the
+// objective is the max-APL, and acceptance follows the Metropolis rule
+// under a geometric cooling schedule.
+type Annealing struct {
+	// Iters is the number of proposed moves. The paper gives SA a runtime
+	// budget; iterations are the deterministic equivalent (Figure 12 sweeps
+	// this knob).
+	Iters int
+	// T0 is the initial temperature in APL cycles. If 0, it is derived
+	// from the spread of the initial random mapping's objective.
+	T0 float64
+	// Cooling is the per-step geometric factor; 0 means an automatic
+	// schedule ending near 1e-4*T0 after Iters steps.
+	Cooling float64
+	Seed    uint64
+}
+
+// Name implements Mapper.
+func (a Annealing) Name() string { return fmt.Sprintf("SA(%d)", a.Iters) }
+
+// Map implements Mapper.
+func (a Annealing) Map(p *core.Problem) (core.Mapping, error) {
+	if a.Iters <= 0 {
+		return nil, fmt.Errorf("annealing: need positive iteration count, got %d", a.Iters)
+	}
+	rng := stats.NewRand(a.Seed)
+	n := p.N()
+	cur := core.RandomMapping(n, rng)
+	tr := newTracker(p, cur)
+
+	t0 := a.T0
+	if t0 <= 0 {
+		// A move changes the objective by at most a few cycles; starting at
+		// ~5% of the initial objective accepts most early uphill moves.
+		t0 = 0.05 * tr.maxAPL()
+		if t0 <= 0 {
+			t0 = 1
+		}
+	}
+	cooling := a.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		// Reach 1e-4 * T0 on the final iteration.
+		cooling = math.Exp(math.Log(1e-4) / float64(a.Iters))
+	}
+
+	best := cur.Clone()
+	bestObj := tr.maxAPL()
+	curObj := bestObj
+	temp := t0
+	for it := 0; it < a.Iters; it++ {
+		j1 := rng.Intn(n)
+		j2 := rng.Intn(n - 1)
+		if j2 >= j1 {
+			j2++
+		}
+		obj := tr.swapObjective(j1, j2)
+		accept := obj <= curObj
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp((curObj-obj)/temp)
+		}
+		if accept {
+			tr.swap(j1, j2)
+			curObj = obj
+			if obj < bestObj {
+				bestObj = obj
+				copy(best, tr.m)
+			}
+		}
+		temp *= cooling
+	}
+	return best, nil
+}

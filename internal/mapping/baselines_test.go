@@ -1,0 +1,238 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"obm/internal/core"
+	"obm/internal/stats"
+)
+
+func TestGreedyValid(t *testing.T) {
+	for _, cfg := range []string{"C1", "C7"} {
+		p := paperProblem(t, cfg)
+		for _, m := range []Mapper{Greedy{}, BalancedGreedy{}} {
+			mp, err := MapAndCheck(m, p)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			if err := mp.Validate(p.N()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestGreedyNearGlobal: cost-greedy approximates Global's g-APL within
+// a few percent (it is the classic constructive heuristic for it).
+func TestGreedyNearGlobal(t *testing.T) {
+	p := paperProblem(t, "C3")
+	gm, err := MapAndCheck(Global{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := MapAndCheck(Greedy{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOpt, gGreedy := p.GlobalAPL(gm), p.GlobalAPL(hm)
+	if gGreedy < gOpt-1e-9 {
+		t.Fatalf("greedy g-APL %v beat the optimum %v", gGreedy, gOpt)
+	}
+	if (gGreedy-gOpt)/gOpt > 0.05 {
+		t.Errorf("greedy g-APL %.3f is %.1f%% above optimal %.3f", gGreedy,
+			100*(gGreedy-gOpt)/gOpt, gOpt)
+	}
+}
+
+// TestBalancedGreedyBeatsGreedyOnMaxAPL: serving the worst-off
+// application first should improve balance over pure cost greed.
+func TestBalancedGreedyBeatsGreedyOnMaxAPL(t *testing.T) {
+	better := 0
+	for _, cfg := range []string{"C1", "C3", "C4", "C6", "C8"} {
+		p := paperProblem(t, cfg)
+		gm, err := MapAndCheck(Greedy{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := MapAndCheck(BalancedGreedy{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MaxAPL(bm) < p.MaxAPL(gm) {
+			better++
+		}
+	}
+	if better < 3 {
+		t.Errorf("BalancedGreedy beat Greedy on only %d/5 configs", better)
+	}
+}
+
+func TestGeneticValidAndImproves(t *testing.T) {
+	p := paperProblem(t, "C2")
+	ga := Genetic{Population: 32, Generations: 60, Seed: 5}
+	mp, err := MapAndCheck(ga, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GA must end at least as good as a random mapping average.
+	rng := stats.NewRand(9)
+	var rnd float64
+	const R = 50
+	for i := 0; i < R; i++ {
+		rnd += p.MaxAPL(core.RandomMapping(p.N(), rng))
+	}
+	rnd /= R
+	if p.MaxAPL(mp) >= rnd {
+		t.Errorf("GA max-APL %.3f not better than random average %.3f", p.MaxAPL(mp), rnd)
+	}
+}
+
+func TestGeneticRejectsBadElite(t *testing.T) {
+	p := paperProblem(t, "C1")
+	if _, err := (Genetic{Population: 4, Elite: 4}).Map(p); err == nil {
+		t.Error("elite >= population accepted")
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	p := paperProblem(t, "C1")
+	ga := Genetic{Population: 16, Generations: 20, Seed: 3}
+	a, err := ga.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ga.Map(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GA not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestOrderCrossoverValid(t *testing.T) {
+	rng := stats.NewRand(7)
+	for trial := 0; trial < 200; trial++ {
+		a := core.RandomMapping(16, rng)
+		b := core.RandomMapping(16, rng)
+		child := orderCrossover(a, b, rng)
+		if err := child.Validate(16); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestClusterSAValid(t *testing.T) {
+	p := paperProblem(t, "C4")
+	m := ClusterSA{Seed: 11}
+	mp, err := MapAndCheck(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(p.N()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Name(), "ClusterSA") {
+		t.Error("name wrong")
+	}
+}
+
+func TestClusterSARejectsBadGeometry(t *testing.T) {
+	p := paperProblem(t, "C1")
+	if _, err := (ClusterSA{ClusterSize: 3}).Map(p); err == nil {
+		t.Error("cluster size 3 should not divide 16-thread apps cleanly... (64%3 != 0)")
+	}
+	if _, err := (ClusterSA{ClusterSize: 5}).Map(p); err == nil {
+		t.Error("cluster size 5 accepted")
+	}
+}
+
+// TestClusterSABetterThanRandomWorseThanSSS places ClusterSA where the
+// literature puts it: clearly better than random on balance, but not
+// able to out-fine-tune SSS.
+func TestClusterSAOrdering(t *testing.T) {
+	var csaDev, sssDev, rndDev float64
+	for _, cfg := range []string{"C1", "C3", "C6"} {
+		p := paperProblem(t, cfg)
+		cm, err := MapAndCheck(ClusterSA{Seed: 2}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRand(3)
+		var rnd float64
+		for i := 0; i < 50; i++ {
+			rnd += p.Evaluate(core.RandomMapping(p.N(), rng)).DevAPL
+		}
+		csaDev += p.Evaluate(cm).DevAPL
+		sssDev += p.Evaluate(sm).DevAPL
+		rndDev += rnd / 50
+	}
+	if csaDev >= rndDev {
+		t.Errorf("ClusterSA dev %.3f should beat random %.3f", csaDev, rndDev)
+	}
+	if sssDev >= csaDev {
+		t.Errorf("SSS dev %.4f should beat ClusterSA %.4f", sssDev, csaDev)
+	}
+}
+
+// TestMonteCarloParallelDeterministic: a fixed worker count must give
+// identical results across runs, and parallel results must be valid and
+// at least as good as any single chunk.
+func TestMonteCarloParallel(t *testing.T) {
+	p := paperProblem(t, "C4")
+	mc4 := MonteCarlo{Samples: 2000, Seed: 7, Workers: 4}
+	a, err := MapAndCheck(mc4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MapAndCheck(mc4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("parallel MC not deterministic for fixed worker count")
+		}
+	}
+	// GOMAXPROCS mode also works and validates.
+	auto, err := MapAndCheck(MonteCarlo{Samples: 2000, Seed: 7, Workers: -1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auto.Validate(p.N()); err != nil {
+		t.Fatal(err)
+	}
+	// More workers than samples clamps rather than panicking.
+	tiny, err := MapAndCheck(MonteCarlo{Samples: 3, Seed: 7, Workers: 64}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.Validate(p.N()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonteCarloParallelQuality: the fan-out draws the same total
+// number of samples, so quality is statistically equivalent to serial.
+func TestMonteCarloParallelQuality(t *testing.T) {
+	p := paperProblem(t, "C6")
+	serial, err := MapAndCheck(MonteCarlo{Samples: 4000, Seed: 11}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MapAndCheck(MonteCarlo{Samples: 4000, Seed: 11, Workers: 8}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, po := p.MaxAPL(serial), p.MaxAPL(par)
+	if po > so*1.05 || so > po*1.05 {
+		t.Errorf("serial %.3f vs parallel %.3f differ by >5%%", so, po)
+	}
+}

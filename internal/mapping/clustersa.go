@@ -1,0 +1,166 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+// ClusterSA is a two-level annealer in the spirit of Lu, Xia & Jantsch
+// (cluster-based simulated annealing, cited as [17] by the paper):
+// tiles are grouped into contiguous clusters of the sorted-by-TC list,
+// annealing swaps whole clusters between applications, and each
+// application's threads are placed within its clusters by a Hungarian
+// SAM solve. The coarse move space converges much faster than flat SA
+// but cannot fine-tune individual tiles — exactly the gap SSS's
+// sliding-window phase closes.
+type ClusterSA struct {
+	// ClusterSize is the number of tiles per cluster (default 4; must
+	// divide N and each application's thread count for the default
+	// partitioning).
+	ClusterSize int
+	// Iters is the number of proposed cluster swaps (default 2000).
+	Iters int
+	Seed  uint64
+}
+
+// Name implements Mapper.
+func (c ClusterSA) Name() string {
+	cs := c.ClusterSize
+	if cs == 0 {
+		cs = 4
+	}
+	return fmt.Sprintf("ClusterSA(%d)", cs)
+}
+
+// Map implements Mapper.
+func (c ClusterSA) Map(p *core.Problem) (core.Mapping, error) {
+	cs := c.ClusterSize
+	if cs <= 0 {
+		cs = 4
+	}
+	iters := c.Iters
+	if iters <= 0 {
+		iters = 2000
+	}
+	n := p.N()
+	if n%cs != 0 {
+		return nil, fmt.Errorf("clustersa: cluster size %d does not divide %d tiles", cs, n)
+	}
+	numClusters := n / cs
+	// Each application needs a whole number of clusters.
+	clustersPer := make([]int, p.NumApps())
+	total := 0
+	for i := 0; i < p.NumApps(); i++ {
+		lo, hi := p.AppThreads(i)
+		if (hi-lo)%cs != 0 {
+			return nil, fmt.Errorf("clustersa: app %d has %d threads, not a multiple of cluster size %d", i, hi-lo, cs)
+		}
+		clustersPer[i] = (hi - lo) / cs
+		total += clustersPer[i]
+	}
+	if total != numClusters {
+		return nil, fmt.Errorf("clustersa: %d clusters for %d cluster slots", total, numClusters)
+	}
+
+	// Clusters are contiguous runs of the TC-sorted slot list, like the
+	// section structure of SSS.
+	sorted := make([]mesh.Tile, n)
+	for i := range sorted {
+		sorted[i] = mesh.Tile(i)
+	}
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ta, tb := p.TC(sorted[a]), p.TC(sorted[b])
+		if ta != tb {
+			return ta < tb
+		}
+		return sorted[a] < sorted[b]
+	})
+	clusterTiles := make([][]mesh.Tile, numClusters)
+	for ci := range clusterTiles {
+		clusterTiles[ci] = sorted[ci*cs : (ci+1)*cs]
+	}
+
+	// owner[ci] = application owning cluster ci. Initial assignment:
+	// round-robin through the sorted clusters so every application gets
+	// a spread of latencies (the SSS "select" intuition at cluster
+	// granularity).
+	owner := make([]int, numClusters)
+	{
+		remaining := append([]int(nil), clustersPer...)
+		app := 0
+		for ci := range owner {
+			for remaining[app%len(remaining)] == 0 {
+				app++
+			}
+			owner[ci] = app % len(remaining)
+			remaining[app%len(remaining)]--
+			app++
+		}
+	}
+
+	evaluate := func() (core.Mapping, float64, error) {
+		m := make(core.Mapping, n)
+		// Collect each app's tiles, then SAM.
+		tilesOf := make([][]mesh.Tile, p.NumApps())
+		for ci, a := range owner {
+			tilesOf[a] = append(tilesOf[a], clusterTiles[ci]...)
+		}
+		obj := 0.0
+		for i := 0; i < p.NumApps(); i++ {
+			if len(tilesOf[i]) == 0 {
+				continue
+			}
+			apl, err := p.SolveSAMInto(m, i, tilesOf[i])
+			if err != nil {
+				return nil, 0, err
+			}
+			if apl > obj {
+				obj = apl
+			}
+		}
+		return m, obj, nil
+	}
+
+	rng := stats.NewRand(c.Seed)
+	bestM, bestObj, err := evaluate()
+	if err != nil {
+		return nil, err
+	}
+	curObj := bestObj
+	temp := 0.05 * bestObj
+	cooling := math.Exp(math.Log(1e-3) / float64(iters))
+	for it := 0; it < iters; it++ {
+		// Swap ownership of two clusters with different owners.
+		a := rng.Intn(numClusters)
+		b := rng.Intn(numClusters)
+		if owner[a] == owner[b] {
+			temp *= cooling
+			continue
+		}
+		owner[a], owner[b] = owner[b], owner[a]
+		m, obj, err := evaluate()
+		if err != nil {
+			return nil, err
+		}
+		accept := obj <= curObj
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp((curObj-obj)/temp)
+		}
+		if accept {
+			curObj = obj
+			if obj < bestObj {
+				bestObj = obj
+				bestM = m
+			}
+		} else {
+			owner[a], owner[b] = owner[b], owner[a]
+		}
+		temp *= cooling
+	}
+	return bestM, nil
+}

@@ -1,0 +1,131 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+)
+
+// Exact solves the OBM problem to optimality by branch and bound. The
+// problem is NP-complete (Section III.C of the paper), so this is only
+// practical for small instances (N up to ~16); it exists to measure the
+// heuristics' optimality gap in tests and the gap experiment, not for
+// production mapping.
+type Exact struct {
+	// MaxNodes bounds the search; 0 means 50 million nodes. If the
+	// bound is hit, Map returns an error rather than a possibly
+	// suboptimal mapping.
+	MaxNodes int64
+}
+
+// Name implements Mapper.
+func (Exact) Name() string { return "Exact" }
+
+// Map implements Mapper.
+func (e Exact) Map(p *core.Problem) (core.Mapping, error) {
+	n := p.N()
+	if n > 24 {
+		return nil, fmt.Errorf("exact: %d tiles is far beyond branch-and-bound reach", n)
+	}
+	maxNodes := e.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 50_000_000
+	}
+
+	// Seed the incumbent with SSS so pruning bites immediately.
+	incumbent, err := (SortSelectSwap{}).Map(p)
+	if err != nil {
+		return nil, err
+	}
+	bestObj := p.MaxAPL(incumbent)
+	best := incumbent.Clone()
+
+	// Per-thread sorted tile preferences are not needed; the bound uses
+	// each remaining thread's cheapest available tile.
+	used := make([]bool, n)
+	cur := make(core.Mapping, n)
+	num := make([]float64, p.NumApps()) // per-app numerators so far
+	var nodes int64
+
+	// remainingMin returns, for each app, an optimistic completion: every
+	// unassigned thread takes its cheapest unused tile (allowing
+	// conflicts — still a valid lower bound).
+	lowerBound := func(nextThread int) float64 {
+		lb := 0.0
+		for i := 0; i < p.NumApps(); i++ {
+			w := p.AppWeight(i)
+			if w == 0 {
+				continue
+			}
+			lo, hi := p.AppThreads(i)
+			opt := num[i]
+			for j := max(lo, nextThread); j < hi; j++ {
+				cheapest := math.Inf(1)
+				for k := 0; k < n; k++ {
+					if used[k] {
+						continue
+					}
+					if c := p.ThreadCost(j, mesh.Tile(k)); c < cheapest {
+						cheapest = c
+					}
+				}
+				opt += cheapest
+			}
+			if apl := opt / w; apl > lb {
+				lb = apl
+			}
+		}
+		return lb
+	}
+
+	var overflow bool
+	var dfs func(j int)
+	dfs = func(j int) {
+		if overflow {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			overflow = true
+			return
+		}
+		if j == n {
+			obj := 0.0
+			for i := 0; i < p.NumApps(); i++ {
+				if w := p.AppWeight(i); w > 0 {
+					if apl := num[i] / w; apl > obj {
+						obj = apl
+					}
+				}
+			}
+			if obj < bestObj {
+				bestObj = obj
+				copy(best, cur)
+			}
+			return
+		}
+		if lowerBound(j) >= bestObj-1e-12 {
+			return // cannot beat the incumbent
+		}
+		app := p.AppOfThread(j)
+		for k := 0; k < n; k++ {
+			if used[k] {
+				continue
+			}
+			used[k] = true
+			cur[j] = mesh.Tile(k)
+			c := p.ThreadCost(j, mesh.Tile(k))
+			num[app] += c
+			dfs(j + 1)
+			num[app] -= c
+			used[k] = false
+		}
+	}
+	dfs(0)
+	if overflow {
+		return nil, fmt.Errorf("exact: search exceeded %d nodes; instance too large", maxNodes)
+	}
+	return best, nil
+}

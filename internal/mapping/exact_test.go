@@ -1,0 +1,169 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/stats"
+	"obm/internal/workload"
+)
+
+// tinyProblem builds a small OBM instance for exact solving: a rows x
+// cols mesh with apps applications of equal size and random rates.
+func tinyProblem(t testing.TB, rows, cols, apps int, seed uint64) *core.Problem {
+	t.Helper()
+	lm := model.MustNew(mesh.MustNew(rows, cols), model.DefaultParams())
+	n := rows * cols
+	rng := stats.NewRand(seed)
+	w := &workload.Workload{Name: "tiny"}
+	per := n / apps
+	for a := 0; a < apps; a++ {
+		app := workload.Application{Name: "a"}
+		for x := 0; x < per; x++ {
+			c := 1 + rng.Float64()*10
+			app.Threads = append(app.Threads, workload.Thread{
+				CacheRate: c,
+				MemRate:   rng.Float64() * 0.4 * c,
+			})
+		}
+		w.Apps = append(w.Apps, app)
+	}
+	return core.MustNewProblem(lm, w)
+}
+
+func TestExactRejectsLargeInstances(t *testing.T) {
+	p := paperProblem(t, "C1")
+	if _, err := (Exact{}).Map(p); err == nil {
+		t.Error("64-tile exact solve accepted")
+	}
+}
+
+// TestExactMatchesBruteForce verifies branch and bound against full
+// enumeration on 2x2 and 2x3 instances.
+func TestExactMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, dims := range [][3]int{{2, 2, 2}, {2, 3, 2}, {2, 3, 3}} {
+			p := tinyProblem(t, dims[0], dims[1], dims[2], seed)
+			em, err := MapAndCheck(Exact{}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.MaxAPL(em)
+			want := bruteForceOBM(p)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("dims %v seed %d: exact %v, brute force %v", dims, seed, got, want)
+			}
+		}
+	}
+}
+
+// bruteForceOBM enumerates all permutations.
+func bruteForceOBM(p *core.Problem) float64 {
+	n := p.N()
+	m := core.IdentityMapping(n)
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if obj := p.MaxAPL(m); obj < best {
+				best = obj
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			m[k], m[i] = m[i], m[k]
+			rec(k + 1)
+			m[k], m[i] = m[i], m[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestHeuristicsNeverBeatExact: on exactly solvable instances, every
+// heuristic's objective is >= the exact optimum, and SSS comes close.
+func TestHeuristicsNeverBeatExact(t *testing.T) {
+	var sssGapSum, cases float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		p := tinyProblem(t, 3, 4, 2, seed)
+		em, err := MapAndCheck(Exact{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := p.MaxAPL(em)
+		for _, h := range []Mapper{
+			SortSelectSwap{},
+			Global{},
+			Greedy{},
+			BalancedGreedy{},
+			MonteCarlo{Samples: 300, Seed: seed},
+			Annealing{Iters: 3000, Seed: seed},
+		} {
+			hm, err := MapAndCheck(h, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj := p.MaxAPL(hm); obj < opt-1e-9 {
+				t.Errorf("seed %d: %s beat the exact optimum (%v < %v)", seed, h.Name(), obj, opt)
+			}
+		}
+		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sssGapSum += (p.MaxAPL(sm) - opt) / opt
+		cases++
+	}
+	if gap := sssGapSum / cases; gap > 0.05 {
+		t.Errorf("SSS average optimality gap %.2f%% on 12-tile instances, want <= 5%%", 100*gap)
+	}
+}
+
+// TestLowerBoundValid: the Hungarian lower bound never exceeds the
+// exact optimum, and no heuristic goes below it.
+func TestLowerBoundValid(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		p := tinyProblem(t, 3, 4, 2, seed)
+		lb, err := p.LowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := MapAndCheck(Exact{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := p.MaxAPL(em)
+		if lb > opt+1e-9 {
+			t.Fatalf("seed %d: lower bound %v exceeds optimum %v", seed, lb, opt)
+		}
+		if lb <= 0 {
+			t.Error("lower bound should be positive for positive-rate workloads")
+		}
+	}
+}
+
+// TestLowerBoundOnPaperConfigs: the bound is sane at N=64 and SSS lands
+// within a modest factor of it.
+func TestLowerBoundOnPaperConfigs(t *testing.T) {
+	for _, cfg := range []string{"C1", "C4", "C8"} {
+		p := paperProblem(t, cfg)
+		lb, err := p.LowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := p.MaxAPL(sm)
+		if lb <= 0 || lb > obj+1e-9 {
+			t.Errorf("%s: bound %v vs SSS %v", cfg, lb, obj)
+		}
+		if gap := (obj - lb) / lb; gap > 0.25 {
+			t.Errorf("%s: SSS is %.1f%% above the lower bound, expected tighter", cfg, 100*gap)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package mapping
+
+import (
+	"fmt"
+
+	"obm/internal/core"
+	"obm/internal/stats"
+)
+
+// Genetic is a permutation genetic algorithm for the OBM objective —
+// the neighbourhood-search family the paper cites (Jang & Pan [14], Lu
+// et al. [17]) and dismisses as too slow for runtime use. It evolves a
+// population of thread-to-tile permutations with tournament selection,
+// order crossover (OX1) and swap mutation, under the max-APL fitness.
+type Genetic struct {
+	// Population size (default 64).
+	Population int
+	// Generations to evolve (default 200).
+	Generations int
+	// MutationRate is the per-offspring swap-mutation probability
+	// (default 0.3).
+	MutationRate float64
+	// Elite is how many best individuals survive unchanged (default 2).
+	Elite int
+	Seed  uint64
+}
+
+// Name implements Mapper.
+func (g Genetic) Name() string {
+	pop, gen := g.Population, g.Generations
+	if pop == 0 {
+		pop = 64
+	}
+	if gen == 0 {
+		gen = 200
+	}
+	return fmt.Sprintf("GA(%dx%d)", pop, gen)
+}
+
+// Map implements Mapper.
+func (g Genetic) Map(p *core.Problem) (core.Mapping, error) {
+	pop := g.Population
+	if pop <= 0 {
+		pop = 64
+	}
+	gens := g.Generations
+	if gens <= 0 {
+		gens = 200
+	}
+	mut := g.MutationRate
+	if mut <= 0 {
+		mut = 0.3
+	}
+	elite := g.Elite
+	if elite <= 0 {
+		elite = 2
+	}
+	if elite >= pop {
+		return nil, fmt.Errorf("genetic: elite %d must be smaller than population %d", elite, pop)
+	}
+	rng := stats.NewRand(g.Seed)
+	n := p.N()
+
+	evaluate := func(m core.Mapping) float64 { return p.MaxAPL(m) }
+
+	cur := make([]indiv, pop)
+	for i := range cur {
+		m := core.RandomMapping(n, rng)
+		cur[i] = indiv{m: m, fit: evaluate(m)}
+	}
+	bestOf := func(pool []indiv) indiv {
+		best := pool[0]
+		for _, ind := range pool[1:] {
+			if ind.fit < best.fit {
+				best = ind
+			}
+		}
+		return best
+	}
+	tournament := func() core.Mapping {
+		a, b := cur[rng.Intn(pop)], cur[rng.Intn(pop)]
+		if a.fit <= b.fit {
+			return a.m
+		}
+		return b.m
+	}
+
+	next := make([]indiv, pop)
+	for gen := 0; gen < gens; gen++ {
+		// Elitism: carry the best forward untouched.
+		sortByFitness(cur)
+		copy(next[:elite], cur[:elite])
+		for i := elite; i < pop; i++ {
+			child := orderCrossover(tournament(), tournament(), rng)
+			if rng.Float64() < mut {
+				a, b := rng.Intn(n), rng.Intn(n)
+				child[a], child[b] = child[b], child[a]
+			}
+			next[i] = indiv{m: child, fit: evaluate(child)}
+		}
+		cur, next = next, cur
+	}
+	return bestOf(cur).m.Clone(), nil
+}
+
+// indiv is one genome with its cached fitness.
+type indiv struct {
+	m   core.Mapping
+	fit float64
+}
+
+// sortByFitness is a small insertion sort (populations are small and
+// nearly sorted between generations).
+func sortByFitness(pool []indiv) {
+	for i := 1; i < len(pool); i++ {
+		for j := i; j > 0 && pool[j-1].fit > pool[j].fit; j-- {
+			pool[j-1], pool[j] = pool[j], pool[j-1]
+		}
+	}
+}
+
+// orderCrossover implements OX1 on permutations: copy a random slice of
+// parent a, fill the rest in parent b's order.
+func orderCrossover(a, b core.Mapping, rng *stats.Rand) core.Mapping {
+	n := len(a)
+	lo := rng.Intn(n)
+	hi := lo + rng.Intn(n-lo)
+	child := make(core.Mapping, n)
+	taken := make([]bool, n)
+	for i := lo; i <= hi; i++ {
+		child[i] = a[i]
+		taken[a[i]] = true
+	}
+	pos := (hi + 1) % n
+	for i := 0; i < n; i++ {
+		v := b[(hi+1+i)%n]
+		if taken[v] {
+			continue
+		}
+		child[pos] = v
+		taken[v] = true
+		pos = (pos + 1) % n
+	}
+	return child
+}

@@ -1,0 +1,135 @@
+package mapping
+
+import (
+	"sort"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+)
+
+// Greedy is the classic list-scheduling heuristic for overall latency:
+// threads are visited in descending order of total request rate, each
+// taking the free tile with the lowest cost for it. It approximates
+// Global at a fraction of the cost and inherits the same imbalance
+// pathology, making it a useful extra baseline for the ablation
+// benches.
+type Greedy struct{}
+
+// Name implements Mapper.
+func (Greedy) Name() string { return "Greedy" }
+
+// Map implements Mapper.
+func (Greedy) Map(p *core.Problem) (core.Mapping, error) {
+	n := p.N()
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := p.CacheRate(order[a]) + p.MemRate(order[a])
+		rb := p.CacheRate(order[b]) + p.MemRate(order[b])
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	m := make(core.Mapping, n)
+	used := make([]bool, n)
+	for _, j := range order {
+		bestK := -1
+		bestCost := 0.0
+		for k := 0; k < n; k++ {
+			if used[k] {
+				continue
+			}
+			c := p.ThreadCost(j, mesh.Tile(k))
+			if bestK < 0 || c < bestCost {
+				bestK, bestCost = k, c
+			}
+		}
+		used[bestK] = true
+		m[j] = mesh.Tile(bestK)
+	}
+	return m, nil
+}
+
+// BalancedGreedy is the max-APL-aware variant: at each step it maps the
+// next thread of whichever active application currently has the highest
+// projected APL, giving it the best remaining tile. It shows how far a
+// simple greedy gets toward the OBM objective without SSS's swap
+// machinery (one of the DESIGN.md ablations).
+type BalancedGreedy struct{}
+
+// Name implements Mapper.
+func (BalancedGreedy) Name() string { return "BalancedGreedy" }
+
+// Map implements Mapper.
+func (BalancedGreedy) Map(p *core.Problem) (core.Mapping, error) {
+	n := p.N()
+	m := make(core.Mapping, n)
+	used := make([]bool, n)
+
+	// Per-application state: threads sorted descending by rate (heavy
+	// first so they claim good tiles), a cursor, and the numerator so
+	// far.
+	type appState struct {
+		order []int
+		next  int
+		num   float64
+	}
+	apps := make([]appState, p.NumApps())
+	for i := range apps {
+		lo, hi := p.AppThreads(i)
+		order := make([]int, hi-lo)
+		for x := range order {
+			order[x] = lo + x
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ra := p.CacheRate(order[a]) + p.MemRate(order[a])
+			rb := p.CacheRate(order[b]) + p.MemRate(order[b])
+			if ra != rb {
+				return ra > rb
+			}
+			return order[a] < order[b]
+		})
+		apps[i].order = order
+	}
+
+	for placed := 0; placed < n; placed++ {
+		// Pick the unfinished application with the highest "APL so far
+		// plus optimistic completion" — serving the worst-off first.
+		pick := -1
+		worst := -1.0
+		for i := range apps {
+			if apps[i].next >= len(apps[i].order) {
+				continue
+			}
+			w := p.AppWeight(i)
+			score := 0.0
+			if w > 0 {
+				score = apps[i].num / w
+			}
+			if pick < 0 || score > worst {
+				pick, worst = i, score
+			}
+		}
+		a := &apps[pick]
+		j := a.order[a.next]
+		a.next++
+		bestK := -1
+		bestCost := 0.0
+		for k := 0; k < n; k++ {
+			if used[k] {
+				continue
+			}
+			c := p.ThreadCost(j, mesh.Tile(k))
+			if bestK < 0 || c < bestCost {
+				bestK, bestCost = k, c
+			}
+		}
+		used[bestK] = true
+		m[j] = mesh.Tile(bestK)
+		a.num += bestCost
+	}
+	return m, nil
+}

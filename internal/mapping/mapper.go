@@ -1,0 +1,44 @@
+// Package mapping implements the application-to-core mapping algorithms
+// evaluated in the paper (Section V.A):
+//
+//   - Random — a uniformly random thread-to-tile permutation (the paper's
+//     random-average baseline of Table 1);
+//   - Global — overall-latency minimization via a single chip-wide
+//     Hungarian assignment (the performance-oriented baseline whose
+//     imbalance motivates the paper);
+//   - MonteCarlo — best-of-R random mappings under the max-APL objective;
+//   - Annealing — simulated annealing over 2-thread swap moves under the
+//     max-APL objective;
+//   - SortSelectSwap — the paper's proposed O(N^3) heuristic
+//     (Algorithm 2), with switches for the ablation studies.
+package mapping
+
+import (
+	"fmt"
+
+	"obm/internal/core"
+)
+
+// Mapper produces a thread-to-tile mapping for an OBM problem instance.
+// Implementations must return a valid permutation.
+type Mapper interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Map solves the instance. Implementations must be deterministic for
+	// a fixed configuration (all randomness comes from explicit seeds).
+	Map(p *core.Problem) (core.Mapping, error)
+}
+
+// MapAndCheck runs m on p and validates the returned permutation,
+// wrapping any violation with the mapper's name. Experiment harnesses use
+// this so a buggy mapper can never silently corrupt results.
+func MapAndCheck(m Mapper, p *core.Problem) (core.Mapping, error) {
+	mp, err := m.Map(p)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %s: %w", m.Name(), err)
+	}
+	if err := mp.Validate(p.N()); err != nil {
+		return nil, fmt.Errorf("mapping: %s produced invalid mapping: %w", m.Name(), err)
+	}
+	return mp, nil
+}

@@ -1,0 +1,95 @@
+package mapping
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"obm/internal/core"
+	"obm/internal/stats"
+)
+
+// MonteCarlo draws Samples random mappings and keeps the one with the
+// minimum max-APL — the paper's MC baseline for the OBM problem
+// (Section V.A, 10^4 samples).
+//
+// With Workers > 1 the draw fans out over goroutines, each evaluating
+// an equal share of the samples with its own deterministically derived
+// random stream (share-nothing; the Problem is immutable and safe to
+// read concurrently). The result is identical for any worker count:
+// the partition of samples into streams is fixed by Workers, and ties
+// between chunks resolve to the lowest chunk index.
+type MonteCarlo struct {
+	Samples int
+	Seed    uint64
+	// Workers fans evaluation out over this many goroutines; 0 or 1 is
+	// serial, negative selects GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Mapper.
+func (mc MonteCarlo) Name() string { return fmt.Sprintf("MC(%d)", mc.Samples) }
+
+// Map implements Mapper.
+func (mc MonteCarlo) Map(p *core.Problem) (core.Mapping, error) {
+	if mc.Samples <= 0 {
+		return nil, fmt.Errorf("montecarlo: need positive sample count, got %d", mc.Samples)
+	}
+	workers := mc.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		best, _ := mcChunk(p, mc.Samples, mc.Seed)
+		return best, nil
+	}
+	if workers > mc.Samples {
+		workers = mc.Samples
+	}
+	type chunkResult struct {
+		best core.Mapping
+		obj  float64
+	}
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	base := mc.Samples / workers
+	extra := mc.Samples % workers
+	for w := 0; w < workers; w++ {
+		count := base
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			// Derive a distinct stream per chunk; the derivation depends
+			// only on (Seed, w), keeping results reproducible.
+			best, obj := mcChunk(p, count, mc.Seed+uint64(w)*0x9e3779b97f4a7c15)
+			results[w] = chunkResult{best, obj}
+		}(w, count)
+	}
+	wg.Wait()
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.best != nil && (best.best == nil || r.obj < best.obj) {
+			best = r
+		}
+	}
+	return best.best, nil
+}
+
+// mcChunk evaluates count random mappings from one seed and returns the
+// best with its objective.
+func mcChunk(p *core.Problem, count int, seed uint64) (core.Mapping, float64) {
+	rng := stats.NewRand(seed)
+	var best core.Mapping
+	bestObj := 0.0
+	for s := 0; s < count; s++ {
+		m := core.RandomMapping(p.N(), rng)
+		obj := p.MaxAPL(m)
+		if best == nil || obj < bestObj {
+			best, bestObj = m, obj
+		}
+	}
+	return best, bestObj
+}

@@ -1,0 +1,138 @@
+package mapping
+
+import (
+	"obm/internal/core"
+	"obm/internal/mesh"
+)
+
+// tracker maintains the per-application APL numerators of a mapping so
+// that swap-style moves can be evaluated and applied in O(A) instead of
+// O(N). Both the annealer and the sliding-window phase of
+// sort-select-swap use it.
+type tracker struct {
+	p   *core.Problem
+	m   core.Mapping
+	num []float64 // per-application total packet latency (APL numerator)
+}
+
+func newTracker(p *core.Problem, m core.Mapping) *tracker {
+	t := &tracker{p: p, m: m, num: make([]float64, p.NumApps())}
+	for j, tile := range m {
+		t.num[p.AppOfThread(j)] += p.ThreadCost(j, tile)
+	}
+	return t
+}
+
+// maxAPL returns the current objective value over active applications.
+func (t *tracker) maxAPL() float64 {
+	var mx float64
+	for i, n := range t.num {
+		if w := t.p.AppWeight(i); w > 0 {
+			if apl := n / w; apl > mx {
+				mx = apl
+			}
+		}
+	}
+	return mx
+}
+
+// maxAPLWith returns the objective if the numerators of the given
+// applications were replaced by trial values; apps and trial are parallel
+// slices and may list the same app more than once (later entries win).
+func (t *tracker) maxAPLWith(apps []int, trial []float64) float64 {
+	var mx float64
+	for i, n := range t.num {
+		for x := len(apps) - 1; x >= 0; x-- {
+			if apps[x] == i {
+				n = trial[x]
+				break
+			}
+		}
+		if w := t.p.AppWeight(i); w > 0 {
+			if apl := n / w; apl > mx {
+				mx = apl
+			}
+		}
+	}
+	return mx
+}
+
+// swapObjective returns the objective value after hypothetically swapping
+// the tiles of threads j1 and j2, without mutating state.
+func (t *tracker) swapObjective(j1, j2 int) float64 {
+	a1, a2 := t.p.AppOfThread(j1), t.p.AppOfThread(j2)
+	t1, t2 := t.m[j1], t.m[j2]
+	d1 := t.p.ThreadCost(j1, t2) - t.p.ThreadCost(j1, t1)
+	d2 := t.p.ThreadCost(j2, t1) - t.p.ThreadCost(j2, t2)
+	if a1 == a2 {
+		return t.maxAPLWith([]int{a1}, []float64{t.num[a1] + d1 + d2})
+	}
+	return t.maxAPLWith([]int{a1, a2}, []float64{t.num[a1] + d1, t.num[a2] + d2})
+}
+
+// swap applies the tile swap between threads j1 and j2.
+func (t *tracker) swap(j1, j2 int) {
+	a1, a2 := t.p.AppOfThread(j1), t.p.AppOfThread(j2)
+	t1, t2 := t.m[j1], t.m[j2]
+	t.num[a1] += t.p.ThreadCost(j1, t2) - t.p.ThreadCost(j1, t1)
+	t.num[a2] += t.p.ThreadCost(j2, t1) - t.p.ThreadCost(j2, t2)
+	t.m[j1], t.m[j2] = t2, t1
+}
+
+// assignObjective returns the objective after hypothetically re-assigning
+// threads js to tiles ts (parallel slices; each thread currently occupies
+// its own tile in t.m, and the multiset of tiles must be preserved by the
+// caller — it is, since callers permute within a window).
+func (t *tracker) assignObjective(js []int, ts []mesh.Tile) float64 {
+	// Accumulate per-app deltas over the affected threads.
+	var apps [4]int
+	var trial [4]float64
+	cnt := 0
+	for x, j := range js {
+		a := t.p.AppOfThread(j)
+		d := t.p.ThreadCost(j, ts[x]) - t.p.ThreadCost(j, t.m[j])
+		found := false
+		for y := 0; y < cnt; y++ {
+			if apps[y] == a {
+				trial[y] += d
+				found = true
+				break
+			}
+		}
+		if !found {
+			if cnt == len(apps) {
+				// More than 4 distinct apps cannot occur for 4-thread
+				// windows; fall back to a full evaluation for safety.
+				return t.fullAssignObjective(js, ts)
+			}
+			apps[cnt] = a
+			trial[cnt] = t.num[a] + d
+			cnt++
+		}
+	}
+	return t.maxAPLWith(apps[:cnt], trial[:cnt])
+}
+
+// fullAssignObjective is the O(N) fallback used only if a window ever
+// touches more than four applications.
+func (t *tracker) fullAssignObjective(js []int, ts []mesh.Tile) float64 {
+	saved := make([]mesh.Tile, len(js))
+	for x, j := range js {
+		saved[x] = t.m[j]
+		t.m[j] = ts[x]
+	}
+	obj := t.p.MaxAPL(t.m)
+	for x, j := range js {
+		t.m[j] = saved[x]
+	}
+	return obj
+}
+
+// assign applies the re-assignment of threads js to tiles ts.
+func (t *tracker) assign(js []int, ts []mesh.Tile) {
+	for x, j := range js {
+		a := t.p.AppOfThread(j)
+		t.num[a] += t.p.ThreadCost(j, ts[x]) - t.p.ThreadCost(j, t.m[j])
+		t.m[j] = ts[x]
+	}
+}

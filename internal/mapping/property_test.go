@@ -1,0 +1,166 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/stats"
+	"obm/internal/workload"
+)
+
+// randomProblem builds a random valid OBM instance from a quick-check
+// seed: mesh between 2x2 and 4x4, 1-4 applications with random rates.
+func randomProblem(seed uint64) *core.Problem {
+	rng := stats.NewRand(seed)
+	rows := 2 + rng.Intn(3)
+	cols := 2 + rng.Intn(3)
+	n := rows * cols
+	lm := model.MustNew(mesh.MustNew(rows, cols), model.DefaultParams())
+	apps := 1 + rng.Intn(4)
+	w := &workload.Workload{Name: "prop"}
+	remaining := n
+	for a := 0; a < apps; a++ {
+		size := remaining / (apps - a)
+		if size == 0 {
+			continue
+		}
+		app := workload.Application{Name: "a"}
+		for t := 0; t < size; t++ {
+			c := rng.Float64() * 20
+			app.Threads = append(app.Threads, workload.Thread{
+				CacheRate: c,
+				MemRate:   rng.Float64() * 0.5 * c,
+			})
+		}
+		w.Apps = append(w.Apps, app)
+		remaining -= size
+	}
+	return core.MustNewProblem(lm, w)
+}
+
+// TestPropertySSSValidOnRandomInstances: SSS returns a valid permutation
+// on arbitrary instance shapes, and its objective is never below the
+// lower bound.
+func TestPropertySSSValidOnRandomInstances(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProblem(seed)
+		m, err := (SortSelectSwap{}).Map(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := m.Validate(p.N()); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		lb, err := p.LowerBound()
+		if err != nil {
+			return false
+		}
+		return p.MaxAPL(m) >= lb-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyObjectiveInvariantUnderAppRelabeling: swapping the order
+// of two applications (and their thread blocks) must not change the
+// max-APL of the correspondingly permuted mapping.
+func TestPropertyObjectiveInvariantUnderAppRelabeling(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		lm := model.MustNew(mesh.MustNew(4, 4), model.DefaultParams())
+		mk := func(order []int) (*core.Problem, core.Mapping) {
+			apps := make([]workload.Application, 2)
+			for a := range apps {
+				r := stats.NewRand(seed + uint64(a))
+				app := workload.Application{Name: "x"}
+				for tdx := 0; tdx < 8; tdx++ {
+					c := r.Float64() * 10
+					app.Threads = append(app.Threads, workload.Thread{CacheRate: c, MemRate: 0.2 * c})
+				}
+				apps[a] = app
+			}
+			w := &workload.Workload{Name: "rel"}
+			for _, a := range order {
+				w.Apps = append(w.Apps, apps[a])
+			}
+			p := core.MustNewProblem(lm, w)
+			// Mapping that assigns app 0's threads to tiles 0-7 and app
+			// 1's to 8-15 in the *original* labeling, permuted to match.
+			m := make(core.Mapping, 16)
+			for pos, a := range order {
+				for tdx := 0; tdx < 8; tdx++ {
+					m[pos*8+tdx] = mesh.Tile(a*8 + tdx)
+				}
+			}
+			return p, m
+		}
+		p1, m1 := mk([]int{0, 1})
+		p2, m2 := mk([]int{1, 0})
+		_ = rng
+		return math.Abs(p1.MaxAPL(m1)-p2.MaxAPL(m2)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUniformRatesAnyMappingEqualAPL: when every thread of
+// every application has identical rates, all mappings that assign the
+// same multiset of tiles per app... stronger: with ONE application,
+// every permutation yields the same APL (the chip total is fixed).
+func TestPropertyOneAppPermutationInvariance(t *testing.T) {
+	lm := model.MustNew(mesh.MustNew(4, 4), model.DefaultParams())
+	w := &workload.Workload{Name: "one", Apps: []workload.Application{{Name: "a"}}}
+	for i := 0; i < 16; i++ {
+		w.Apps[0].Threads = append(w.Apps[0].Threads, workload.Thread{CacheRate: 3, MemRate: 1})
+	}
+	p := core.MustNewProblem(lm, w)
+	rng := stats.NewRand(99)
+	base := p.MaxAPL(core.IdentityMapping(16))
+	f := func(seed uint64) bool {
+		m := core.RandomMapping(16, stats.NewRand(seed^rng.Uint64()))
+		return math.Abs(p.MaxAPL(m)-base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyScalingRatesScalesNothing: multiplying every rate by a
+// positive constant leaves all APL metrics unchanged (they are
+// rate-weighted averages).
+func TestPropertyRateScaleInvariance(t *testing.T) {
+	f := func(seed uint64, scaleBits uint8) bool {
+		scale := 0.1 + float64(scaleBits)/16 // 0.1 .. ~16
+		p1 := randomProblem(seed)
+		// Rebuild with scaled rates.
+		w := p1.Workload()
+		w2 := &workload.Workload{Name: "scaled"}
+		for i := range w.Apps {
+			app := workload.Application{Name: w.Apps[i].Name}
+			for _, th := range w.Apps[i].Threads {
+				app.Threads = append(app.Threads, workload.Thread{
+					CacheRate: th.CacheRate * scale,
+					MemRate:   th.MemRate * scale,
+				})
+			}
+			w2.Apps = append(w2.Apps, app)
+		}
+		p2 := core.MustNewProblem(p1.Model(), w2)
+		m := core.RandomMapping(p1.N(), stats.NewRand(seed))
+		e1, e2 := p1.Evaluate(m), p2.Evaluate(m)
+		return math.Abs(e1.MaxAPL-e2.MaxAPL) < 1e-6 &&
+			math.Abs(e1.GlobalAPL-e2.GlobalAPL) < 1e-6 &&
+			math.Abs(e1.DevAPL-e2.DevAPL) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

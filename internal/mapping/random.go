@@ -1,0 +1,22 @@
+package mapping
+
+import (
+	"obm/internal/core"
+	"obm/internal/stats"
+)
+
+// Random maps threads to tiles uniformly at random. It is the baseline
+// whose *average* behaviour the paper's Table 1 reports (averaged over
+// >10^4 draws by the experiment harness).
+type Random struct {
+	Seed uint64
+}
+
+// Name implements Mapper.
+func (r Random) Name() string { return "Random" }
+
+// Map implements Mapper.
+func (r Random) Map(p *core.Problem) (core.Mapping, error) {
+	rng := stats.NewRand(r.Seed)
+	return core.RandomMapping(p.N(), rng), nil
+}

@@ -1,0 +1,128 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+)
+
+// ImproveWithBudget refines an existing mapping toward a lower max-APL
+// while moving at most maxMoves threads — the constraint a live system
+// faces, where every migration costs cache warmup and pause time. It
+// runs sort-select-swap's sliding-window phase starting from base, but
+// only accepts a window permutation if the cumulative set of threads
+// displaced from their base tiles stays within budget (threads returned
+// to their base tile leave the budget again). It returns the refined
+// mapping and the number of threads that ended up moved.
+//
+// With maxMoves >= N this converges to the same quality as a fresh SSS
+// swap phase; with a small budget it spends the moves where the
+// objective gains most.
+func ImproveWithBudget(p *core.Problem, base core.Mapping, maxMoves int) (core.Mapping, int, error) {
+	if err := base.Validate(p.N()); err != nil {
+		return nil, 0, fmt.Errorf("refine: %w", err)
+	}
+	if maxMoves < 0 {
+		return nil, 0, fmt.Errorf("refine: negative migration budget %d", maxMoves)
+	}
+	n := p.N()
+	m := base.Clone()
+	if maxMoves == 0 {
+		return m, 0, nil
+	}
+
+	// Sorted slot list, as in SSS step 1.
+	sorted := make([]mesh.Tile, n)
+	for i := range sorted {
+		sorted[i] = mesh.Tile(i)
+	}
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ta, tb := p.TC(sorted[a]), p.TC(sorted[b])
+		if ta != tb {
+			return ta < tb
+		}
+		return sorted[a] < sorted[b]
+	})
+
+	tr := newTracker(p, m)
+	inv := m.InverseOn(n)
+	perms := permutations(4)
+	moved := map[int]bool{}
+	movedCount := func(js []int, ts []mesh.Tile) int {
+		// Budget usage if threads js were placed on tiles ts.
+		count := len(moved)
+		for x, j := range js {
+			was := moved[j]
+			is := ts[x] != base[j]
+			if is && !was {
+				count++
+			}
+			if !is && was {
+				count--
+			}
+		}
+		return count
+	}
+
+	// Best-first: each round scans every window and applies only the
+	// single permutation with the largest objective gain that fits the
+	// remaining budget, so a small budget goes to the most valuable
+	// migrations instead of whichever window the sweep meets first.
+	const window = 4
+	tiles := make([]mesh.Tile, window)
+	threads := make([]int, window)
+	trial := make([]mesh.Tile, window)
+	maxStep := n / window
+	for {
+		curObj := tr.maxAPL()
+		bestGain := 0.0
+		var bestThreads [window]int
+		var bestTiles [window]mesh.Tile
+		found := false
+		for step := 1; step <= maxStep; step++ {
+			span := (window - 1) * step
+			for i := 0; i+span < n; i++ {
+				for x := 0; x < window; x++ {
+					tiles[x] = sorted[i+x*step]
+					threads[x] = inv[tiles[x]]
+				}
+				for _, perm := range perms {
+					identity := true
+					for x, y := range perm {
+						trial[x] = tiles[y]
+						if y != x {
+							identity = false
+						}
+					}
+					if identity {
+						continue
+					}
+					if movedCount(threads, trial) > maxMoves {
+						continue // would blow the migration budget
+					}
+					if gain := curObj - tr.assignObjective(threads, trial); gain > bestGain+1e-12 {
+						bestGain = gain
+						copy(bestThreads[:], threads)
+						copy(bestTiles[:], trial)
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		tr.assign(bestThreads[:], bestTiles[:])
+		for x := range bestThreads {
+			inv[bestTiles[x]] = bestThreads[x]
+			if bestTiles[x] != base[bestThreads[x]] {
+				moved[bestThreads[x]] = true
+			} else {
+				delete(moved, bestThreads[x])
+			}
+		}
+	}
+	return m, len(moved), nil
+}

@@ -1,0 +1,305 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+// SelectStrategy chooses how the select step of sort-select-swap picks
+// one tile per section of the sorted tile list for an application.
+type SelectStrategy int
+
+// Selection strategies. SelectMiddle is the paper's; the others exist for
+// the ablation benchmarks.
+const (
+	// SelectMiddle picks the tile in the middle of each section
+	// (Figure 6 of the paper).
+	SelectMiddle SelectStrategy = iota
+	// SelectFirst picks the first (smallest-TC) tile of each section.
+	SelectFirst
+	// SelectRandom picks a uniform random tile of each section.
+	SelectRandom
+)
+
+func (s SelectStrategy) String() string {
+	switch s {
+	case SelectMiddle:
+		return "middle"
+	case SelectFirst:
+		return "first"
+	case SelectRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("SelectStrategy(%d)", int(s))
+	}
+}
+
+// SortSelectSwap is the paper's proposed heuristic (Algorithm 2):
+//
+//  1. sort all tiles by their shared-cache APL TC(k);
+//  2. for each application, divide the remaining sorted list into equal
+//     sections, select the middle tile of each section, and assign the
+//     selected tiles to the application's threads with a Hungarian SAM
+//     solve (coarse tuning on the dominant cache traffic);
+//  3. slide a 4-tile window over the sorted list with step sizes
+//     1..N/4, trying all 24 permutations of each window's thread-to-tile
+//     assignment and greedily keeping the one that minimizes the
+//     max-APL (fine tuning that also accounts for memory traffic);
+//     finally re-run SAM within each application.
+//
+// The zero value is the algorithm exactly as published. The exported
+// fields switch individual phases off or vary them for the ablation
+// studies in bench_test.go; they do not change the published defaults.
+type SortSelectSwap struct {
+	// DisableSwap skips step 3's sliding-window swaps (coarse tuning only).
+	DisableSwap bool
+	// DisableFinalSAM skips the final per-application Hungarian polish.
+	DisableFinalSAM bool
+	// Select overrides the section-selection strategy (default middle).
+	Select SelectStrategy
+	// WindowSize overrides the swap window size (default 4; 2..5 allowed —
+	// cost grows as WindowSize! per window).
+	WindowSize int
+	// MaxStep caps the sliding-window step size; 0 means the paper's N/4.
+	MaxStep int
+	// Passes repeats the swap phase (each pass followed by the SAM
+	// polish) until no pass improves the objective, up to this many
+	// passes. 0 or 1 is the published single-pass algorithm; higher
+	// values implement the iterate-to-convergence extension studied in
+	// the ablation experiment.
+	Passes int
+	// Seed feeds SelectRandom; unused by the published configuration.
+	Seed uint64
+}
+
+// Name implements Mapper.
+func (s SortSelectSwap) Name() string {
+	if s == (SortSelectSwap{}) {
+		return "SSS"
+	}
+	name := "SSS["
+	switch {
+	case s.DisableSwap && s.DisableFinalSAM:
+		name += "select-only"
+	case s.DisableSwap:
+		name += "no-swap"
+	case s.DisableFinalSAM:
+		name += "no-final-sam"
+	default:
+		name += "custom"
+	}
+	if s.Select != SelectMiddle {
+		name += ",sel=" + s.Select.String()
+	}
+	if s.WindowSize != 0 && s.WindowSize != 4 {
+		name += fmt.Sprintf(",w=%d", s.WindowSize)
+	}
+	if s.MaxStep != 0 {
+		name += fmt.Sprintf(",maxstep=%d", s.MaxStep)
+	}
+	if s.Passes > 1 {
+		name += fmt.Sprintf(",passes=%d", s.Passes)
+	}
+	return name + "]"
+}
+
+// Map implements Mapper.
+func (s SortSelectSwap) Map(p *core.Problem) (core.Mapping, error) {
+	window := s.WindowSize
+	if window == 0 {
+		window = 4
+	}
+	if window < 2 || window > 5 {
+		return nil, fmt.Errorf("sss: window size %d out of range [2,5]", window)
+	}
+	n := p.N()
+	var rng *stats.Rand
+	if s.Select == SelectRandom {
+		rng = stats.NewRand(s.Seed)
+	}
+
+	// Step 1: sort slots ascending by TC. Ties (mesh symmetry, and all
+	// slots of one tile) are broken by index for determinism.
+	sorted := make([]mesh.Tile, n)
+	for i := range sorted {
+		sorted[i] = mesh.Tile(i)
+	}
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ta, tb := p.TC(sorted[a]), p.TC(sorted[b])
+		if ta != tb {
+			return ta < tb
+		}
+		return sorted[a] < sorted[b]
+	})
+
+	// Step 2: select tiles per application from the shrinking list and
+	// SAM-assign them.
+	m := make(core.Mapping, n)
+	remaining := append([]mesh.Tile(nil), sorted...)
+	for i := 0; i < p.NumApps(); i++ {
+		lo, hi := p.AppThreads(i)
+		need := hi - lo
+		if need == 0 {
+			continue
+		}
+		picked, rest, err := selectFromSections(remaining, need, s.Select, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sss: app %d: %w", i, err)
+		}
+		if _, err := p.SolveSAMInto(m, i, picked); err != nil {
+			return nil, err
+		}
+		remaining = rest
+	}
+
+	// Step 3: greedy sliding-window swaps over the full sorted list,
+	// followed by the per-application SAM polish; optionally repeated
+	// while the objective keeps improving (Passes > 1 extension).
+	passes := s.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	prevObj := math.Inf(1)
+	for pass := 0; pass < passes; pass++ {
+		if !s.DisableSwap {
+			s.slideWindows(p, m, sorted, window)
+		}
+		if !s.DisableFinalSAM {
+			for i := 0; i < p.NumApps(); i++ {
+				if err := p.ReoptimizeApp(m, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if s.DisableSwap {
+			break // nothing to iterate
+		}
+		if obj := p.MaxAPL(m); obj < prevObj-1e-12 {
+			prevObj = obj
+		} else {
+			break
+		}
+	}
+	return m, nil
+}
+
+// selectFromSections divides list into need equal sections, picks one
+// tile per section according to the strategy, and returns the picks plus
+// the unpicked remainder (order preserved).
+func selectFromSections(list []mesh.Tile, need int, strat SelectStrategy, rng *stats.Rand) (picked, rest []mesh.Tile, err error) {
+	l := len(list)
+	if need > l {
+		return nil, nil, fmt.Errorf("need %d tiles from list of %d", need, l)
+	}
+	pickedIdx := make(map[int]bool, need)
+	picked = make([]mesh.Tile, 0, need)
+	for q := 0; q < need; q++ {
+		start := q * l / need
+		end := (q + 1) * l / need
+		var idx int
+		switch strat {
+		case SelectFirst:
+			idx = start
+		case SelectRandom:
+			idx = start + rng.Intn(end-start)
+		default: // SelectMiddle
+			idx = (start + end - 1) / 2
+		}
+		pickedIdx[idx] = true
+		picked = append(picked, list[idx])
+	}
+	rest = make([]mesh.Tile, 0, l-need)
+	for i, t := range list {
+		if !pickedIdx[i] {
+			rest = append(rest, t)
+		}
+	}
+	return picked, rest, nil
+}
+
+// slideWindows performs the greedy permutation search of step 3 in place.
+func (s SortSelectSwap) slideWindows(p *core.Problem, m core.Mapping, sorted []mesh.Tile, window int) {
+	n := p.N()
+	tr := newTracker(p, m)
+	inv := m.InverseOn(n) // tile -> thread
+	perms := permutations(window)
+
+	maxStep := s.MaxStep
+	if maxStep <= 0 {
+		maxStep = n / window
+	}
+	tiles := make([]mesh.Tile, window)
+	threads := make([]int, window)
+	trial := make([]mesh.Tile, window)
+	for step := 1; step <= maxStep; step++ {
+		span := (window - 1) * step
+		for i := 0; i+span < n; i++ {
+			for x := 0; x < window; x++ {
+				tiles[x] = sorted[i+x*step]
+				threads[x] = inv[tiles[x]]
+			}
+			// Try every permutation; keep the best (identity included, so
+			// the objective never worsens).
+			bestObj := tr.maxAPL()
+			bestPerm := -1
+			for pi, perm := range perms {
+				identity := true
+				for x, y := range perm {
+					trial[x] = tiles[y]
+					if y != x {
+						identity = false
+					}
+				}
+				if identity {
+					continue
+				}
+				if obj := tr.assignObjective(threads, trial); obj < bestObj {
+					bestObj = obj
+					bestPerm = pi
+				}
+			}
+			if bestPerm >= 0 {
+				perm := perms[bestPerm]
+				for x, y := range perm {
+					trial[x] = tiles[y]
+				}
+				tr.assign(threads, trial)
+				for x := range threads {
+					inv[trial[x]] = threads[x]
+				}
+			}
+		}
+	}
+}
+
+// permutations returns all k! permutations of [0,k) in a deterministic
+// order (Heap's algorithm).
+func permutations(k int) [][]int {
+	cur := make([]int, k)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(h int)
+	rec = func(h int) {
+		if h == 1 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < h; i++ {
+			rec(h - 1)
+			if h%2 == 0 {
+				cur[i], cur[h-1] = cur[h-1], cur[i]
+			} else {
+				cur[0], cur[h-1] = cur[h-1], cur[0]
+			}
+		}
+	}
+	rec(k)
+	return out
+}

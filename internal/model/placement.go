@@ -1,0 +1,94 @@
+package model
+
+import (
+	"fmt"
+
+	"obm/internal/mesh"
+)
+
+// Placement is a set of memory-controller locations on the mesh. The
+// paper fixes one controller per corner (Table 2); real CMPs also ship
+// edge-center and diagonal arrangements, and the mapping problem only
+// sees them through the TM(k) array, so the model supports any
+// placement. Requests follow the proximity principle: each tile uses
+// its nearest controller.
+type Placement struct {
+	name  string
+	tiles []mesh.Tile
+}
+
+// Name identifies the placement in experiment output.
+func (p Placement) Name() string { return p.name }
+
+// Tiles returns the controller locations.
+func (p Placement) Tiles() []mesh.Tile {
+	return append([]mesh.Tile(nil), p.tiles...)
+}
+
+// Validate reports an error for empty or out-of-range placements.
+func (p Placement) Validate(m *mesh.Mesh) error {
+	if len(p.tiles) == 0 {
+		return fmt.Errorf("model: placement %q has no controllers", p.name)
+	}
+	for _, t := range p.tiles {
+		if !m.Contains(t) {
+			return fmt.Errorf("model: placement %q controller %d outside %v", p.name, t, m)
+		}
+	}
+	return nil
+}
+
+// Nearest returns the placement's controller closest to t (ties to the
+// lowest tile index) and the hop distance, under mesh distances.
+func (p Placement) Nearest(m *mesh.Mesh, t mesh.Tile) (mesh.Tile, int) {
+	return p.NearestBy(m, t, m.Hops)
+}
+
+// NearestBy is Nearest under an arbitrary distance function (e.g.
+// (*mesh.Mesh).TorusHops for wrap-around interconnects).
+func (p Placement) NearestBy(m *mesh.Mesh, t mesh.Tile, hops func(a, b mesh.Tile) int) (mesh.Tile, int) {
+	best := p.tiles[0]
+	bestHops := hops(t, best)
+	for _, c := range p.tiles[1:] {
+		if h := hops(t, c); h < bestHops {
+			best, bestHops = c, h
+		}
+	}
+	return best, bestHops
+}
+
+// CornersPlacement is the paper's arrangement: one controller per chip
+// corner.
+func CornersPlacement(m *mesh.Mesh) Placement {
+	c := m.Corners()
+	return Placement{name: "corners", tiles: c[:]}
+}
+
+// EdgeCentersPlacement puts one controller at the middle of each chip
+// edge (top, bottom, left, right) — the arrangement of e.g. Tilera-class
+// parts.
+func EdgeCentersPlacement(m *mesh.Mesh) Placement {
+	midR, midC := (m.Rows()-1)/2, (m.Cols()-1)/2
+	return Placement{name: "edge-centers", tiles: []mesh.Tile{
+		m.TileAt(0, midC),
+		m.TileAt(m.Rows()-1, midC),
+		m.TileAt(midR, 0),
+		m.TileAt(midR, m.Cols()-1),
+	}}
+}
+
+// DiagonalPlacement spreads four controllers along the main diagonal,
+// trading corner proximity for center proximity.
+func DiagonalPlacement(m *mesh.Mesh) Placement {
+	n := min(m.Rows(), m.Cols())
+	pick := func(i int) mesh.Tile {
+		pos := i * (n - 1) / 3
+		return m.TileAt(pos, pos)
+	}
+	return Placement{name: "diagonal", tiles: []mesh.Tile{pick(0), pick(1), pick(2), pick(3)}}
+}
+
+// CustomPlacement builds a placement from explicit tiles.
+func CustomPlacement(name string, tiles []mesh.Tile) Placement {
+	return Placement{name: name, tiles: append([]mesh.Tile(nil), tiles...)}
+}

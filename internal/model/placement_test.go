@@ -1,0 +1,183 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"obm/internal/mesh"
+)
+
+func TestCornersPlacement(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	pl := CornersPlacement(m)
+	if pl.Name() != "corners" {
+		t.Errorf("name = %q", pl.Name())
+	}
+	tiles := pl.Tiles()
+	if len(tiles) != 4 {
+		t.Fatalf("%d controllers", len(tiles))
+	}
+	want := m.Corners()
+	for i, tl := range tiles {
+		if tl != want[i] {
+			t.Errorf("controller %d = %v, want %v", i, tl, want[i])
+		}
+	}
+	if err := pl.Validate(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeCentersPlacement(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	pl := EdgeCentersPlacement(m)
+	if err := pl.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range pl.Tiles() {
+		c := m.Coord(tl)
+		onEdge := c.Row == 0 || c.Row == 7 || c.Col == 0 || c.Col == 7
+		if !onEdge {
+			t.Errorf("controller %v not on an edge", c)
+		}
+		if (c.Row == 0 || c.Row == 7) && (c.Col == 0 || c.Col == 7) {
+			t.Errorf("controller %v is a corner, want edge centers", c)
+		}
+	}
+}
+
+func TestDiagonalPlacement(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	pl := DiagonalPlacement(m)
+	if err := pl.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range pl.Tiles() {
+		c := m.Coord(tl)
+		if c.Row != c.Col {
+			t.Errorf("controller %v off the diagonal", c)
+		}
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	m := mesh.MustNew(4, 4)
+	if err := (Placement{}).Validate(m); err == nil {
+		t.Error("empty placement accepted")
+	}
+	bad := CustomPlacement("bad", []mesh.Tile{99})
+	if err := bad.Validate(m); err == nil {
+		t.Error("out-of-range controller accepted")
+	}
+}
+
+func TestPlacementNearest(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	pl := CornersPlacement(m)
+	for _, tl := range m.Tiles() {
+		c, hops := pl.Nearest(m, tl)
+		if hops != m.HopsToNearestCorner(tl) {
+			t.Fatalf("tile %d: nearest hops %d, eq(4) gives %d", tl, hops, m.HopsToNearestCorner(tl))
+		}
+		if m.Hops(tl, c) != hops {
+			t.Fatal("returned controller does not match returned distance")
+		}
+	}
+}
+
+// TestTMDependsOnPlacement: edge-center controllers favor edge-center
+// tiles; corner controllers favor corners.
+func TestTMDependsOnPlacement(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	p := DefaultParams()
+	corners, err := NewWithPlacement(m, p, CornersPlacement(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := NewWithPlacement(m, p, EdgeCentersPlacement(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cornerTile := m.TileAt(0, 0)
+	edgeTile := m.TileAt(0, 3) // next to the top edge-center (0, 3 or 0,4)
+	if !(corners.TM(cornerTile) < edges.TM(cornerTile)) {
+		t.Error("corner tile should prefer corner controllers")
+	}
+	if !(edges.TM(edgeTile) < corners.TM(edgeTile)) {
+		t.Error("edge-center tile should prefer edge-center controllers")
+	}
+	// TC is placement-independent.
+	for _, tl := range m.Tiles() {
+		if corners.TC(tl) != edges.TC(tl) {
+			t.Fatal("TC must not depend on controller placement")
+		}
+	}
+}
+
+func TestNewWithPlacementValidation(t *testing.T) {
+	m := mesh.MustNew(4, 4)
+	if _, err := NewWithPlacement(nil, DefaultParams(), CornersPlacement(m)); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	if _, err := NewWithPlacement(m, DefaultParams(), Placement{}); err == nil {
+		t.Error("empty placement accepted")
+	}
+}
+
+func TestDefaultPlacementIsCorners(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	lm := MustNew(m, DefaultParams())
+	if lm.Placement().Name() != "corners" {
+		t.Errorf("default placement = %q, want corners", lm.Placement().Name())
+	}
+}
+
+func TestTorusModel(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	lm, err := NewTorus(m, DefaultParams(), CornersPlacement(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Topology() != TopologyTorus {
+		t.Error("topology not recorded")
+	}
+	if TopologyMesh.String() != "mesh" || TopologyTorus.String() != "torus" || Topology(9).String() == "" {
+		t.Error("topology names wrong")
+	}
+	// Vertex transitivity: TC constant across all tiles.
+	want := lm.TC(0)
+	for _, tl := range m.Tiles() {
+		if lm.TC(tl) != want {
+			t.Fatalf("torus TC not uniform: TC(%d)=%v vs %v", tl, lm.TC(tl), want)
+		}
+	}
+	// 8x8 torus: 4 avg hops * 4 cycles + 2.75*(63/64).
+	wantTC := 4*4.0 + 2.75*63/64
+	if math.Abs(want-wantTC) > 1e-12 {
+		t.Errorf("torus TC = %v, want %v", want, wantTC)
+	}
+	// TM still varies (controllers are fixed points) but uses wrapped
+	// distances, so it never exceeds the mesh value anywhere.
+	meshLM := MustNew(m, DefaultParams())
+	for _, tl := range m.Tiles() {
+		if lm.TM(tl) > meshLM.TM(tl)+1e-9 {
+			t.Fatalf("torus TM(%d)=%v exceeds mesh %v", tl, lm.TM(tl), meshLM.TM(tl))
+		}
+	}
+	if lm.TM(m.TileAt(7, 7)) != 0 {
+		t.Error("controller tile should still have TM 0")
+	}
+}
+
+func TestNewTorusValidation(t *testing.T) {
+	m := mesh.MustNew(4, 4)
+	if _, err := NewTorus(nil, DefaultParams(), CornersPlacement(m)); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	if _, err := NewTorus(m, Params{TdR: -1}, CornersPlacement(m)); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := NewTorus(m, DefaultParams(), Placement{}); err == nil {
+		t.Error("empty placement accepted")
+	}
+}

@@ -1,0 +1,356 @@
+package noc
+
+import (
+	"fmt"
+
+	"obm/internal/mesh"
+)
+
+// arrival is a flit in flight on a link.
+type arrival struct {
+	router *router
+	port   Port
+	vc     int
+	f      flit
+}
+
+// creditReturn is a freed buffer slot on its way back upstream.
+type creditReturn struct {
+	router *router
+	port   Port
+	vc     int
+}
+
+// Network is the whole on-chip network: routers, links, NIs, and the
+// cycle loop. It is not safe for concurrent use; drive it from one
+// goroutine (experiments parallelize across Network instances instead,
+// the idiomatic share-nothing decomposition for simulators).
+type Network struct {
+	cfg     Config
+	mesh    *mesh.Mesh
+	routers []*router
+	nis     []*ni
+	cycle   int64
+	nextID  uint64
+	stats   Stats
+	// inflight buckets link arrivals by delivery cycle.
+	inflight map[int64][]arrival
+	inFlight int // flits currently on links
+	// credits buckets delayed credit returns by visibility cycle.
+	credits map[int64][]creditReturn
+	nCred   int
+	// onDeliver, when set, runs for every delivered packet (tail eject).
+	onDeliver func(*Packet)
+}
+
+// New builds a network from cfg.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := mesh.New(cfg.Rows, cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:      cfg,
+		mesh:     m,
+		inflight: make(map[int64][]arrival),
+		credits:  make(map[int64][]creditReturn),
+	}
+	n.routers = make([]*router, m.NumTiles())
+	n.nis = make([]*ni, m.NumTiles())
+	for _, t := range m.Tiles() {
+		n.routers[t] = newRouter(t, n)
+		n.nis[t] = newNI(t, n)
+	}
+	// Wire up neighbours; torus mode wraps the edges.
+	wrap := func(v, size int) (int, bool) {
+		switch {
+		case v >= 0 && v < size:
+			return v, true
+		case cfg.Torus:
+			return (v + size) % size, true
+		default:
+			return 0, false
+		}
+	}
+	for _, t := range m.Tiles() {
+		c := m.Coord(t)
+		r := n.routers[t]
+		if row, ok := wrap(c.Row-1, cfg.Rows); ok {
+			r.neighbors[North] = n.routers[m.TileAt(row, c.Col)]
+		}
+		if row, ok := wrap(c.Row+1, cfg.Rows); ok {
+			r.neighbors[South] = n.routers[m.TileAt(row, c.Col)]
+		}
+		if col, ok := wrap(c.Col-1, cfg.Cols); ok {
+			r.neighbors[West] = n.routers[m.TileAt(c.Row, col)]
+		}
+		if col, ok := wrap(c.Col+1, cfg.Cols); ok {
+			r.neighbors[East] = n.routers[m.TileAt(c.Row, col)]
+		}
+	}
+	return n, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Network {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Mesh returns the network's mesh geometry.
+func (n *Network) Mesh() *mesh.Mesh { return n.mesh }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.Cycles = n.cycle
+	s.ByApp = append([]TypeStats(nil), n.stats.ByApp...)
+	s.HistByApp = append([]Histogram(nil), n.stats.HistByApp...)
+	if n.stats.LinkFlits != nil {
+		s.LinkFlits = make([][]int64, len(n.stats.LinkFlits))
+		for i, row := range n.stats.LinkFlits {
+			s.LinkFlits[i] = append([]int64(nil), row...)
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes the accumulated statistics without disturbing
+// in-flight traffic, so measurement can start after a warmup phase.
+// Packets already in flight still deliver (and run the delivery
+// handler) but count toward the fresh statistics, slightly biasing the
+// first few cycles — standard practice for warm measurement windows.
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+}
+
+// SetDeliveryHandler registers f to run whenever a packet's tail flit
+// leaves the network (including zero-hop local deliveries). Traffic
+// generators use it to issue replies.
+func (n *Network) SetDeliveryHandler(f func(*Packet)) { n.onDeliver = f }
+
+// Inject submits a packet for delivery. Src and Dst must be valid
+// tiles; ID and InjectCycle are assigned here. A packet whose source
+// equals its destination involves no network communication (paper
+// Section II.C) and is delivered immediately with zero latency.
+func (n *Network) Inject(p *Packet) error {
+	if p == nil {
+		return fmt.Errorf("noc: nil packet")
+	}
+	if !n.mesh.Contains(p.Src) || !n.mesh.Contains(p.Dst) {
+		return fmt.Errorf("noc: packet %v -> %v outside %v", p.Src, p.Dst, n.mesh)
+	}
+	if p.Type < CacheRequest || p.Type > Writeback {
+		return fmt.Errorf("noc: unknown packet type %d", int(p.Type))
+	}
+	p.ID = n.nextID
+	n.nextID++
+	p.InjectCycle = n.cycle
+	p.curDim = -1
+	p.layer = 0
+	n.stats.InjectedPackets++
+	n.stats.InjectedFlits += int64(p.Type.Flits())
+	if p.Src == p.Dst {
+		n.stats.LocalDeliveries++
+		n.deliver(n.cycle, p)
+		return nil
+	}
+	n.nis[p.Src].enqueue(p)
+	return nil
+}
+
+// returnCredit makes a freed slot visible at router up (port, vc),
+// immediately or after the configured credit delay.
+func (n *Network) returnCredit(up *router, p Port, vc int) {
+	if n.cfg.CreditDelay == 0 {
+		up.credits[p][vc]++
+		return
+	}
+	at := n.cycle + int64(n.cfg.CreditDelay)
+	n.credits[at] = append(n.credits[at], creditReturn{up, p, vc})
+	n.nCred++
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	now := n.cycle
+	// 0. Delayed credits become visible.
+	if cr, ok := n.credits[now]; ok {
+		for _, c := range cr {
+			c.router.credits[c.port][c.vc]++
+		}
+		n.nCred -= len(cr)
+		delete(n.credits, now)
+	}
+	// 1. Link arrivals scheduled for this cycle enter input buffers.
+	if arr, ok := n.inflight[now]; ok {
+		for _, a := range arr {
+			a.router.accept(a.port, a.vc, a.f)
+		}
+		n.inFlight -= len(arr)
+		delete(n.inflight, now)
+	}
+	// 2. NIs inject.
+	for _, q := range n.nis {
+		q.inject(now)
+	}
+	// 3. Route computation for newly exposed heads, then VC allocation.
+	// Each busy router first snapshots its occupied VCs once; the three
+	// stages then scan only that candidate list.
+	for _, r := range n.routers {
+		if r.occ > 0 {
+			r.gather()
+			r.routeHeads()
+		}
+	}
+	for _, r := range n.routers {
+		if r.occ > 0 {
+			r.allocateVCs(now)
+		}
+	}
+	// 4. Switch allocation and traversal.
+	for _, r := range n.routers {
+		if r.occ == 0 {
+			continue
+		}
+		var inputUsed [numPorts]bool
+		for p := Port(0); p < numPorts; p++ {
+			r.arbitrate(now, p, &inputUsed)
+		}
+	}
+	n.cycle++
+}
+
+// sendFlit puts a granted flit on the wire toward r's neighbour through
+// output port p, into downstream VC outVC.
+func (n *Network) sendFlit(now int64, r *router, p Port, outVC int, f flit) {
+	dest := r.neighbors[p]
+	if dest == nil {
+		panic(fmt.Sprintf("noc: flit routed off the mesh at tile %d port %v", r.id, p))
+	}
+	// Switch traversal this cycle plus the wire: the flit lands in the
+	// downstream buffer LinkLatency+1 cycles from the grant and becomes
+	// eligible for the downstream switch RouterLatency-1 cycles later.
+	arr := now + int64(n.cfg.LinkLatency) + 1
+	f.ready = arr + int64(n.cfg.RouterLatency-1)
+	if n.stats.LinkFlits == nil {
+		n.stats.LinkFlits = make([][]int64, n.mesh.NumTiles())
+		for i := range n.stats.LinkFlits {
+			n.stats.LinkFlits[i] = make([]int64, int(numPorts))
+		}
+	}
+	n.stats.LinkFlits[r.id][p]++
+	if f.isHead() {
+		f.pkt.Hops++
+		if n.cfg.Torus {
+			// Commit the dateline state the VC allocation was based on:
+			// crossing into a new dimension resets the layer; traversing
+			// the wrap link promotes it.
+			layer := int8(r.vcLayerFor(p, f.pkt))
+			f.pkt.curDim = int8(dimOf(p))
+			f.pkt.layer = layer
+		}
+	}
+	n.stats.FlitHops++
+	n.inflight[arr] = append(n.inflight[arr], arrival{
+		router: dest,
+		port:   p.opposite(),
+		vc:     outVC,
+		f:      f,
+	})
+	n.inFlight++
+}
+
+// eject consumes a flit at its destination's local port.
+func (n *Network) eject(now int64, p *Packet, seq int) {
+	n.stats.DeliveredFlits++
+	if seq == p.Type.Flits()-1 {
+		n.deliver(now, p)
+	}
+}
+
+// deliver finalizes a packet: records statistics and runs the handler.
+func (n *Network) deliver(now int64, p *Packet) {
+	p.EjectCycle = now
+	if p.Src == p.Dst {
+		n.stats.DeliveredFlits += int64(p.Type.Flits())
+	}
+	n.stats.DeliveredPackets++
+	lat := p.Latency()
+	ideal := int64(p.Hops*n.cfg.PerHopLatency() + p.Type.Flits() - 1)
+	if p.Src == p.Dst {
+		ideal = 0
+	}
+	n.stats.QueuingSum += lat - ideal
+	ts := &n.stats.ByType[p.Type]
+	ts.Packets++
+	ts.LatencySum += lat
+	ts.HopSum += int64(p.Hops)
+	if p.App >= 0 {
+		as := n.stats.appStats(p.App)
+		as.Packets++
+		as.LatencySum += lat
+		as.HopSum += int64(p.Hops)
+		n.stats.HistByApp[p.App].Add(lat)
+	}
+	if n.onDeliver != nil {
+		n.onDeliver(p)
+	}
+}
+
+// Busy reports whether any packet is queued, in a buffer, or on a link.
+// Pending credits also count: the network is not settled until every
+// buffer slot is accounted for.
+func (n *Network) Busy() bool {
+	if n.inFlight > 0 || n.nCred > 0 {
+		return true
+	}
+	for _, q := range n.nis {
+		if q.pending() > 0 {
+			return true
+		}
+	}
+	for _, r := range n.routers {
+		if r.occupancy() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain steps the network until it is empty or maxCycles additional
+// cycles have elapsed, and returns an error in the latter case (which
+// would indicate a routing deadlock or livelock — XY routing with
+// class-partitioned VCs should never produce one).
+func (n *Network) Drain(maxCycles int64) error {
+	deadline := n.cycle + maxCycles
+	for n.Busy() {
+		if n.cycle >= deadline {
+			return fmt.Errorf("noc: network failed to drain within %d cycles (%d flits in flight)", maxCycles, n.inFlight)
+		}
+		n.Step()
+	}
+	return nil
+}
+
+// Occupancy returns the total number of flits buffered in routers, for
+// tests and load monitoring.
+func (n *Network) Occupancy() int {
+	var o int
+	for _, r := range n.routers {
+		o += r.occupancy()
+	}
+	return o
+}

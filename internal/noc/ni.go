@@ -1,0 +1,97 @@
+package noc
+
+import (
+	"obm/internal/mesh"
+)
+
+// ni is a tile's network interface: an unbounded packet queue feeding
+// the router's local input port at one flit per cycle. Injection
+// bypasses the source router pipeline (flits are immediately eligible
+// for switch allocation), which calibrates the uncontended end-to-end
+// latency to exactly hops*(router+link) — see the package comment.
+type ni struct {
+	tile  mesh.Tile
+	n     *Network
+	queue []*Packet
+	// cur is the packet currently being serialized into the router.
+	cur     *Packet
+	curFlit int
+	curVC   int
+	// space[v] is the free slot count of the router's local input VC v.
+	space []int
+	// owned[v] reports whether an in-flight packet holds local VC v.
+	owned []bool
+}
+
+func newNI(tile mesh.Tile, n *Network) *ni {
+	vcs := n.cfg.VCs()
+	s := make([]int, vcs)
+	for v := range s {
+		s[v] = n.cfg.BufDepth
+	}
+	return &ni{tile: tile, n: n, space: s, owned: make([]bool, vcs), curVC: -1}
+}
+
+// enqueue adds a packet to the injection queue.
+func (q *ni) enqueue(p *Packet) {
+	q.queue = append(q.queue, p)
+}
+
+// creditReturn is called by the local router when it drains a flit from
+// local input VC v.
+func (q *ni) creditReturn(v int) {
+	q.space[v]++
+}
+
+// vcFree mirrors router.vcFree for the local port.
+func (q *ni) vcFree(v int) bool {
+	return !q.owned[v] && q.space[v] == q.n.cfg.BufDepth
+}
+
+// inject writes up to one flit into the local router this cycle.
+func (q *ni) inject(now int64) {
+	if q.cur == nil {
+		if len(q.queue) == 0 {
+			return
+		}
+		head := q.queue[0]
+		lo, hi := q.n.cfg.vcRange(head.Type.Class())
+		vc := -1
+		for v := lo; v < hi; v++ {
+			if q.vcFree(v) {
+				vc = v
+				break
+			}
+		}
+		if vc < 0 {
+			return // all local VCs of this class busy
+		}
+		copy(q.queue, q.queue[1:])
+		q.queue = q.queue[:len(q.queue)-1]
+		q.cur = head
+		q.curFlit = 0
+		q.curVC = vc
+		q.owned[vc] = true
+	}
+	if q.space[q.curVC] == 0 {
+		return // local buffer full; retry next cycle
+	}
+	f := flit{pkt: q.cur, seq: q.curFlit, ready: now}
+	q.n.routers[q.tile].accept(Local, q.curVC, f)
+	q.space[q.curVC]--
+	q.curFlit++
+	if q.curFlit == q.cur.Type.Flits() {
+		q.owned[q.curVC] = false
+		q.cur = nil
+		q.curVC = -1
+	}
+}
+
+// pending returns the number of packets not yet fully injected.
+func (q *ni) pending() int {
+	n := len(q.queue)
+	if q.cur != nil {
+		n++
+	}
+	return n
+}

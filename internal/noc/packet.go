@@ -1,0 +1,121 @@
+package noc
+
+import (
+	"fmt"
+
+	"obm/internal/mesh"
+)
+
+// PacketType labels the CMP traffic kind a packet carries; it selects
+// the protocol class and feeds the per-type statistics.
+type PacketType int
+
+// CMP packet types (Section II.B of the paper).
+const (
+	// CacheRequest is a core's request to a shared L2 bank (single flit:
+	// address only).
+	CacheRequest PacketType = iota
+	// CacheReply carries a 64-byte data block from an L2 bank back to the
+	// requesting core (head flit + 4 data flits).
+	CacheReply
+	// CacheForward is a checking/forwarding packet from an L2 bank to
+	// another tile's private L1 (single flit).
+	CacheForward
+	// MemRequest is a request forwarded to a memory controller tile
+	// (single flit).
+	MemRequest
+	// MemReply carries data returned by a memory controller (5 flits).
+	MemReply
+	// Writeback carries an evicted dirty block toward its home (L1 to
+	// L2 bank, or L2 bank to memory controller); 5 flits of data.
+	Writeback
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case CacheRequest:
+		return "cache-request"
+	case CacheReply:
+		return "cache-reply"
+	case CacheForward:
+		return "cache-forward"
+	case MemRequest:
+		return "mem-request"
+	case MemReply:
+		return "mem-reply"
+	case Writeback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("PacketType(%d)", int(t))
+	}
+}
+
+// Class returns the protocol class that carries this packet type.
+func (t PacketType) Class() Class {
+	switch t {
+	case CacheReply, MemReply:
+		return ClassResponse
+	case CacheForward, Writeback:
+		// Writebacks ride the coherence network so evictions can never
+		// block the request/response dependency chain.
+		return ClassCoherence
+	default:
+		return ClassRequest
+	}
+}
+
+// Flits returns the packet length in flits for this type under the
+// paper's format: 128-bit links, 16-bit short packets in one flit,
+// 64-byte data plus a head flit in five flits.
+func (t PacketType) Flits() int {
+	switch t {
+	case CacheReply, MemReply, Writeback:
+		return 5
+	default:
+		return 1
+	}
+}
+
+// Packet is one network packet.
+type Packet struct {
+	// ID is unique within a Network instance.
+	ID uint64
+	// Src and Dst are the source and destination tiles.
+	Src, Dst mesh.Tile
+	// Type determines length and class.
+	Type PacketType
+	// App tags the application (0-based) that caused the packet, for the
+	// per-application latency statistics; -1 if not attributed.
+	App int
+	// InjectCycle is when the packet entered its source NI queue.
+	InjectCycle int64
+	// EjectCycle is when the tail flit left the network (set on delivery).
+	EjectCycle int64
+	// Hops counts traversed links (set as the head advances).
+	Hops int
+	// UserData lets traffic generators attach context (e.g. the request a
+	// reply answers). The simulator never touches it.
+	UserData any
+
+	// curDim and layer track torus-dateline state while the packet is in
+	// flight: the dimension currently being traversed (-1 before the
+	// first hop) and the virtual-channel layer within the packet's class
+	// (0 before crossing the ring's dateline, 1 after).
+	curDim int8
+	layer  int8
+}
+
+// Latency returns the packet's measured network latency in cycles.
+func (p *Packet) Latency() int64 { return p.EjectCycle - p.InjectCycle }
+
+// flit is one flow-control unit of a packet.
+type flit struct {
+	pkt *Packet
+	// seq is the flit index within the packet; 0 is the head.
+	seq int
+	// ready is the earliest cycle the flit may compete for the switch.
+	ready int64
+}
+
+func (f flit) isHead() bool { return f.seq == 0 }
+func (f flit) isTail() bool { return f.seq == f.pkt.Type.Flits()-1 }

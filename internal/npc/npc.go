@@ -1,0 +1,136 @@
+// Package npc makes the paper's NP-completeness argument (Section
+// III.C) executable: it implements the polynomial reduction from the
+// set-partition problem to the decision version of the On-chip latency
+// Balanced Mapping problem (DOBM), and decides set-partition by calling
+// an OBM solver on the constructed instance — exactly the subroutine-Y
+// construction of the proof.
+//
+// Set-partition (the variant used in the proof): given a multiset
+// S = {s_1..s_N} with N even, do two subsets of size N/2 exist with
+// equal sums? The reduction builds an N-tile chip with TC(k) = s_k,
+// TM = 0, and two applications of N/2 unit-rate threads; a mapping with
+// both APLs <= gamma = mean(S) exists iff the partition does, and the
+// subsets read off the mapping (eq. 11).
+package npc
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/core"
+	"obm/internal/mapping"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/workload"
+)
+
+// Instance is a constructed DOBM instance together with its threshold.
+type Instance struct {
+	// Problem is the two-application OBM instance with TC(k) = s_k.
+	Problem *core.Problem
+	// Gamma is the decision threshold: mean of the set (eq. 9).
+	Gamma float64
+	// Set is the original input.
+	Set []float64
+}
+
+// Reduce builds the DOBM instance for a set-partition input. The set
+// must have an even number of non-negative elements.
+func Reduce(set []float64) (*Instance, error) {
+	n := len(set)
+	if n == 0 || n%2 != 0 {
+		return nil, fmt.Errorf("npc: set size %d must be positive and even", n)
+	}
+	var sum float64
+	for i, s := range set {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("npc: element %d = %v is not a non-negative real", i, s)
+		}
+		sum += s
+	}
+	// A 1xN chip whose cache latencies are the set elements and whose
+	// memory latencies are zero.
+	msh, err := mesh.New(1, n)
+	if err != nil {
+		return nil, err
+	}
+	tm := make([]float64, n)
+	lm, err := model.NewTable(msh, model.Params{}, set, tm)
+	if err != nil {
+		return nil, err
+	}
+	// Two applications of N/2 threads, all with c_j = 1, m_j = 0.
+	w := &workload.Workload{Name: "set-partition"}
+	for a := 0; a < 2; a++ {
+		app := workload.Application{Name: fmt.Sprintf("A%d", a+1)}
+		for t := 0; t < n/2; t++ {
+			app.Threads = append(app.Threads, workload.Thread{CacheRate: 1})
+		}
+		w.Apps = append(w.Apps, app)
+	}
+	p, err := core.NewProblem(lm, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Problem: p, Gamma: sum / float64(n), Set: set}, nil
+}
+
+// Decide answers the set-partition question by solving the reduced
+// DOBM instance with the exact OBM solver ("subroutine Y" of the
+// proof). On a yes-instance it returns the two equal-sum index subsets
+// recovered from the optimal mapping (eq. 11). Practical only for
+// small sets — that is the point of an NP-completeness reduction run
+// through an exponential solver.
+func Decide(set []float64) (yes bool, a1, a2 []int, err error) {
+	inst, err := Reduce(set)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	m, err := mapping.MapAndCheck(mapping.Exact{}, inst.Problem)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	// Y holds iff every application's APL is <= gamma.
+	ev := inst.Problem.Evaluate(m)
+	const eps = 1e-9
+	if ev.MaxAPL > inst.Gamma+eps {
+		return false, nil, nil, nil
+	}
+	half := len(set) / 2
+	for j := 0; j < half; j++ {
+		a1 = append(a1, int(m[j]))
+	}
+	for j := half; j < len(set); j++ {
+		a2 = append(a2, int(m[j]))
+	}
+	return true, a1, a2, nil
+}
+
+// Verify checks a claimed partition: both subsets have size N/2,
+// cover every index exactly once, and have equal sums.
+func Verify(set []float64, a1, a2 []int) error {
+	n := len(set)
+	if len(a1) != n/2 || len(a2) != n/2 {
+		return fmt.Errorf("npc: subset sizes %d/%d, want %d each", len(a1), len(a2), n/2)
+	}
+	seen := make([]bool, n)
+	var s1, s2 float64
+	for _, i := range a1 {
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("npc: invalid or repeated index %d", i)
+		}
+		seen[i] = true
+		s1 += set[i]
+	}
+	for _, i := range a2 {
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("npc: invalid or repeated index %d", i)
+		}
+		seen[i] = true
+		s2 += set[i]
+	}
+	if math.Abs(s1-s2) > 1e-9*math.Max(1, math.Abs(s1)) {
+		return fmt.Errorf("npc: subset sums differ: %v vs %v", s1, s2)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package npc
+
+import (
+	"math"
+	"testing"
+
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+func TestReduceValidation(t *testing.T) {
+	if _, err := Reduce(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Reduce([]float64{1, 2, 3}); err == nil {
+		t.Error("odd set accepted")
+	}
+	if _, err := Reduce([]float64{1, -2}); err == nil {
+		t.Error("negative element accepted")
+	}
+	if _, err := Reduce([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestReduceStructure(t *testing.T) {
+	set := []float64{1, 2, 3, 4}
+	inst, err := Reduce(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	if p.N() != 4 || p.NumApps() != 2 {
+		t.Fatalf("N=%d A=%d", p.N(), p.NumApps())
+	}
+	// TC(k) equals the set elements; TM is zero (the proof's setup).
+	lm := p.Model()
+	for k, s := range set {
+		if lm.TC(mesh.Tile(k)) != s {
+			t.Errorf("TC(%d) = %v, want %v", k, lm.TC(mesh.Tile(k)), s)
+		}
+		if lm.TM(mesh.Tile(k)) != 0 {
+			t.Errorf("TM(%d) = %v, want 0", k, lm.TM(mesh.Tile(k)))
+		}
+	}
+	if inst.Gamma != 2.5 {
+		t.Errorf("gamma = %v, want 2.5", inst.Gamma)
+	}
+}
+
+func TestDecideYesInstances(t *testing.T) {
+	yes := [][]float64{
+		{1, 2, 3, 4},              // {1,4} {2,3}
+		{5, 5, 5, 5},              // any split
+		{0, 0, 0, 0},              // degenerate
+		{1, 1, 2, 2, 3, 3},        // {1,2,3} twice
+		{10, 1, 9, 2, 8, 6, 7, 3}, // sum 46, half 23: e.g. {10,9,3,1}... sizes 4
+		{2.5, 0.5, 1.5, 1.5},      // fractional rates
+	}
+	for _, set := range yes {
+		ok, a1, a2, err := Decide(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("Decide(%v) = no, want yes", set)
+			continue
+		}
+		if err := Verify(set, a1, a2); err != nil {
+			t.Errorf("Decide(%v) returned invalid partition %v/%v: %v", set, a1, a2, err)
+		}
+	}
+}
+
+func TestDecideNoInstances(t *testing.T) {
+	no := [][]float64{
+		{1, 2},             // 1 != 2
+		{1, 1, 1, 4},       // sum 7 odd-ish: halves can't match
+		{10, 1, 1, 1},      // 10 dominates
+		{3, 3, 3, 2},       // sum 11
+		{8, 1, 1, 1, 1, 2}, // equal-size: {8,x,y} min 10 > half 7
+	}
+	for _, set := range no {
+		ok, _, _, err := Decide(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("Decide(%v) = yes, want no", set)
+		}
+	}
+}
+
+// TestDecideMatchesBruteForce cross-checks the reduction against direct
+// enumeration on random small sets.
+func TestDecideMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRand(41)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + 2*rng.Intn(3) // 4, 6, 8
+		set := make([]float64, n)
+		for i := range set {
+			set[i] = float64(rng.Intn(8))
+		}
+		want := bruteForcePartition(set)
+		got, a1, a2, err := Decide(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Decide(%v) = %v, brute force %v", set, got, want)
+		}
+		if got {
+			if err := Verify(set, a1, a2); err != nil {
+				t.Fatalf("invalid partition for %v: %v", set, err)
+			}
+		}
+	}
+}
+
+// bruteForcePartition enumerates all equal-size subsets.
+func bruteForcePartition(set []float64) bool {
+	n := len(set)
+	var total float64
+	for _, s := range set {
+		total += s
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) != n/2 {
+			continue
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum += set[i]
+			}
+		}
+		if math.Abs(sum-total/2) < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func TestVerify(t *testing.T) {
+	set := []float64{1, 2, 3, 4}
+	if err := Verify(set, []int{0, 3}, []int{1, 2}); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if err := Verify(set, []int{0}, []int{1, 2}); err == nil {
+		t.Error("wrong sizes accepted")
+	}
+	if err := Verify(set, []int{0, 0}, []int{1, 2}); err == nil {
+		t.Error("repeated index accepted")
+	}
+	if err := Verify(set, []int{0, 1}, []int{2, 3}); err == nil {
+		t.Error("unequal sums accepted")
+	}
+	if err := Verify(set, []int{0, 9}, []int{1, 2}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

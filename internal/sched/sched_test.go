@@ -1,0 +1,298 @@
+package sched
+
+import (
+	"testing"
+
+	"obm/internal/mapping"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/workload"
+)
+
+func testModel(t testing.TB) *model.LatencyModel {
+	t.Helper()
+	return model.MustNew(mesh.MustNew(8, 8), model.DefaultParams())
+}
+
+// appFrom lifts one application out of a paper configuration and gives
+// it a unique name.
+func appFrom(cfg string, idx int, name string) *workload.Application {
+	w := workload.MustConfig(cfg)
+	app := w.Apps[idx]
+	app.Name = name
+	return &app
+}
+
+func fourPhaseScenario() Scenario {
+	return Scenario{
+		Events: []Event{
+			{Time: 0, Arrive: appFrom("C1", 3, "heavy1")},
+			{Time: 0, Arrive: appFrom("C1", 0, "light1")},
+			{Time: 100, Arrive: appFrom("C3", 3, "heavy2")},
+			{Time: 200, Arrive: appFrom("C3", 0, "light2")},
+			{Time: 300, Depart: "heavy1"},
+			{Time: 400, Arrive: appFrom("C5", 2, "mid1")},
+			{Time: 500, Depart: "light1"},
+			{Time: 500, Arrive: appFrom("C8", 1, "mid2")},
+		},
+		End: 700,
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := fourPhaseScenario().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Scenario{
+		{},
+		{Events: []Event{{Time: 5, Arrive: appFrom("C1", 0, "a")}, {Time: 1, Depart: "a"}}, End: 10},
+		{Events: []Event{{Time: 0}}, End: 1},
+		{Events: []Event{{Time: 0, Arrive: appFrom("C1", 0, "a"), Depart: "b"}}, End: 1},
+		{Events: []Event{{Time: 0, Depart: "ghost"}}, End: 1},
+		{Events: []Event{{Time: 0, Arrive: appFrom("C1", 0, "a")}, {Time: 1, Arrive: appFrom("C1", 1, "a")}}, End: 2},
+		{Events: []Event{{Time: 5, Arrive: appFrom("C1", 0, "a")}}, End: 1},
+		{Events: []Event{{Time: 0, Arrive: &workload.Application{Name: "empty"}}}, End: 1},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	if (Never{}).Remap(10, 10) {
+		t.Error("Never remapped")
+	}
+	if !(OnChange{}).Remap(10, 0) {
+		t.Error("OnChange declined")
+	}
+	e := Every{Interval: 100}
+	if e.Remap(50, 50) || !e.Remap(150, 150) {
+		t.Error("Every interval logic wrong")
+	}
+	for _, p := range []Policy{Never{}, OnChange{}, Every{Interval: 5}} {
+		if p.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	lm := testModel(t)
+	if _, err := NewRunner(nil, mapping.Global{}, Never{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewRunner(lm, nil, Never{}); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	if _, err := NewRunner(lm, mapping.Global{}, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	lm := testModel(t)
+	r, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := r.Run(fourPhaseScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Intervals == 0 {
+		t.Fatal("no intervals measured")
+	}
+	if met.Remaps == 0 {
+		t.Error("on-change policy should remap")
+	}
+	if met.TimeWeightedMaxAPL <= 0 {
+		t.Error("no latency accumulated")
+	}
+}
+
+// TestOnChangeBeatsNever: re-solving at every change yields better
+// time-weighted balance than never remapping.
+func TestOnChangeBeatsNever(t *testing.T) {
+	lm := testModel(t)
+	sc := fourPhaseScenario()
+	never, err := NewRunner(lm, mapping.SortSelectSwap{}, Never{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onchange, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mNever, err := never.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mChange, err := onchange.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mNever.Remaps != 0 || mNever.Migrations != 0 {
+		t.Error("never policy migrated threads")
+	}
+	if !(mChange.TimeWeightedDevAPL < mNever.TimeWeightedDevAPL) {
+		t.Errorf("on-change dev %.4f should beat never %.4f",
+			mChange.TimeWeightedDevAPL, mNever.TimeWeightedDevAPL)
+	}
+	if !(mChange.TimeWeightedMaxAPL <= mNever.TimeWeightedMaxAPL+1e-9) {
+		t.Errorf("on-change max %.3f should not exceed never %.3f",
+			mChange.TimeWeightedMaxAPL, mNever.TimeWeightedMaxAPL)
+	}
+}
+
+// TestPeriodicBetweenExtremes: a rate-limited policy lands between
+// never and on-change on balance, with fewer migrations than on-change.
+func TestPeriodicBetweenExtremes(t *testing.T) {
+	lm := testModel(t)
+	sc := fourPhaseScenario()
+	run := func(p Policy) Metrics {
+		r, err := NewRunner(lm, mapping.SortSelectSwap{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	never := run(Never{})
+	change := run(OnChange{})
+	period := run(Every{Interval: 250})
+	if !(period.Remaps > 0 && period.Remaps < change.Remaps+1) {
+		t.Errorf("periodic remaps %d vs on-change %d", period.Remaps, change.Remaps)
+	}
+	if period.Migrations > change.Migrations {
+		t.Errorf("periodic migrated more (%d) than on-change (%d)", period.Migrations, change.Migrations)
+	}
+	if !(period.TimeWeightedDevAPL <= never.TimeWeightedDevAPL+1e-9) {
+		t.Errorf("periodic dev %.4f worse than never %.4f", period.TimeWeightedDevAPL, never.TimeWeightedDevAPL)
+	}
+}
+
+func TestOverSubscription(t *testing.T) {
+	lm := testModel(t)
+	sc := Scenario{
+		Events: []Event{
+			{Time: 0, Arrive: appFrom("C1", 0, "a")},
+			{Time: 1, Arrive: appFrom("C1", 1, "b")},
+			{Time: 2, Arrive: appFrom("C1", 2, "c")},
+			{Time: 3, Arrive: appFrom("C1", 3, "d")},
+			{Time: 4, Arrive: appFrom("C3", 0, "e")}, // 80 threads > 64 tiles
+		},
+		End: 10,
+	}
+	r, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(sc); err == nil {
+		t.Error("over-subscription accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	lm := testModel(t)
+	r, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Run(fourPhaseScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(fourPhaseScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("scheduler not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestWhenUnbalancedPolicy: the adaptive policy remaps less often than
+// on-change while keeping dev-APL bounded near its threshold.
+func TestWhenUnbalancedPolicy(t *testing.T) {
+	lm := testModel(t)
+	sc := fourPhaseScenario()
+	run := func(p Policy) Metrics {
+		r, err := NewRunner(lm, mapping.SortSelectSwap{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	change := run(OnChange{})
+	adaptive := run(WhenUnbalanced{Threshold: 0.5})
+	if adaptive.Remaps == 0 {
+		t.Fatal("adaptive policy never fired despite churn imbalance")
+	}
+	if adaptive.Remaps > change.Remaps {
+		t.Errorf("adaptive (%d remaps) fired more than on-change (%d)", adaptive.Remaps, change.Remaps)
+	}
+	if adaptive.Migrations > change.Migrations {
+		t.Errorf("adaptive migrated more (%d) than on-change (%d)", adaptive.Migrations, change.Migrations)
+	}
+	// A huge threshold degenerates to never.
+	lazy := run(WhenUnbalanced{Threshold: 1e9})
+	if lazy.Remaps != 0 {
+		t.Errorf("threshold 1e9 still remapped %d times", lazy.Remaps)
+	}
+	if (WhenUnbalanced{Threshold: 0.5}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// TestMigrationBudget: a budgeted runner never exceeds its per-remap
+// budget and still improves balance over never remapping.
+func TestMigrationBudget(t *testing.T) {
+	lm := testModel(t)
+	sc := fourPhaseScenario()
+	r, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MigrationBudget = 8
+	met, err := r.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Remaps == 0 {
+		t.Fatal("budgeted runner never remapped")
+	}
+	if met.Migrations > met.Remaps*8 {
+		t.Errorf("%d migrations over %d remaps exceeds budget 8", met.Migrations, met.Remaps)
+	}
+	never, err := NewRunner(lm, mapping.SortSelectSwap{}, Never{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := never.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(met.TimeWeightedDevAPL < base.TimeWeightedDevAPL) {
+		t.Errorf("budgeted dev %.4f not below never %.4f", met.TimeWeightedDevAPL, base.TimeWeightedDevAPL)
+	}
+	full, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := full.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Migrations >= fm.Migrations {
+		t.Errorf("budgeted migrations %d not below full remap %d", met.Migrations, fm.Migrations)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary hardens the binary trace parser: arbitrary input must
+// either parse into a consistent trace or fail cleanly — never panic,
+// never return out-of-range events.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid trace and near-valid mutations.
+	h := Header{Name: "seed", Threads: 4, Cycles: 100}
+	events := []Event{
+		{Cycle: 1, Thread: 0, Kind: CacheAccess},
+		{Cycle: 7, Thread: 3, Kind: MemAccess},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, h, events); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("OBM1"))
+	f.Add([]byte{})
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, events, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that parses must satisfy the format invariants.
+		if h.Threads <= 0 || h.Cycles == 0 {
+			t.Fatalf("invalid header accepted: %+v", h)
+		}
+		var prev uint64
+		for i, e := range events {
+			if int(e.Thread) >= h.Threads {
+				t.Fatalf("event %d thread out of range", i)
+			}
+			if e.Kind > MemAccess {
+				t.Fatalf("event %d bad kind", i)
+			}
+			if e.Cycle < prev {
+				t.Fatalf("event %d out of order", i)
+			}
+			prev = e.Cycle
+		}
+		// Round trip: rewriting what we parsed must succeed and re-read
+		// identically.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, h, events); err != nil {
+			t.Fatalf("rewrite of parsed trace failed: %v", err)
+		}
+		h2, ev2, err := ReadBinary(&out)
+		if err != nil || h2 != h || len(ev2) != len(events) {
+			t.Fatalf("round trip mismatch: %v", err)
+		}
+	})
+}
+
+// FuzzReadJSON hardens the JSON trace parser the same way.
+func FuzzReadJSON(f *testing.F) {
+	h := Header{Name: "seed", Threads: 2, Cycles: 10}
+	events := []Event{{Cycle: 1, Thread: 1, Kind: CacheAccess}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, h, events); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"name":"x","threads":-1,"cycles":0}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		h, _, err := ReadJSON(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if h.Threads <= 0 || h.Cycles == 0 {
+			t.Fatalf("invalid header accepted: %+v", h)
+		}
+	})
+}

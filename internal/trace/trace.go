@@ -1,0 +1,283 @@
+// Package trace defines the on-disk trace format for CMP communication
+// events — the role PARSEC traces gathered under Simics play for the
+// paper. Traces record, per event, the issuing thread, the cycle, and
+// the request kind; rates derived from a trace feed the OBM problem the
+// same way the paper derives (c_j, m_j) from its traces.
+//
+// Two encodings are supported: a human-greppable JSON-lines form and a
+// compact binary form (varint deltas), both self-describing via a
+// header record.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"obm/internal/stats"
+	"obm/internal/workload"
+)
+
+// Kind distinguishes the two request types of the OBM model.
+type Kind uint8
+
+// Event kinds.
+const (
+	// CacheAccess is a shared-L2 request (counts toward c_j).
+	CacheAccess Kind = iota
+	// MemAccess is a memory-controller request (counts toward m_j).
+	MemAccess
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CacheAccess:
+		return "cache"
+	case MemAccess:
+		return "mem"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one communication event.
+type Event struct {
+	// Cycle is the issue time.
+	Cycle uint64 `json:"cycle"`
+	// Thread is the flattened thread index.
+	Thread uint32 `json:"thread"`
+	// Kind is the request type.
+	Kind Kind `json:"kind"`
+}
+
+// Header describes a trace.
+type Header struct {
+	// Name labels the workload.
+	Name string `json:"name"`
+	// Threads is the thread count.
+	Threads int `json:"threads"`
+	// Cycles is the trace duration.
+	Cycles uint64 `json:"cycles"`
+}
+
+// Validate reports an error for malformed headers.
+func (h Header) Validate() error {
+	if h.Threads <= 0 {
+		return fmt.Errorf("trace: non-positive thread count %d", h.Threads)
+	}
+	if h.Cycles == 0 {
+		return fmt.Errorf("trace: zero-cycle trace")
+	}
+	return nil
+}
+
+// magic prefixes binary traces.
+var magic = [4]byte{'O', 'B', 'M', '1'}
+
+// WriteJSON writes header plus events as JSON lines.
+func WriteJSON(w io.Writer, h Header, events []Event) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON reads a JSON-lines trace.
+func ReadJSON(r io.Reader) (Header, []Event, error) {
+	dec := json.NewDecoder(r)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if err := h.Validate(); err != nil {
+		return Header{}, nil, err
+	}
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return Header{}, nil, fmt.Errorf("trace: reading event %d: %w", len(events), err)
+		}
+		events = append(events, e)
+	}
+	return h, events, nil
+}
+
+// WriteBinary writes the compact binary form: magic, JSON header line,
+// then per event varint(cycle delta), varint(thread), byte(kind).
+func WriteBinary(w io.Writer, h Header, events []Event) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hdr))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	var prev uint64
+	for i := range events {
+		e := &events[i]
+		if e.Cycle < prev {
+			return fmt.Errorf("trace: events out of order at %d (cycle %d after %d)", i, e.Cycle, prev)
+		}
+		n := binary.PutUvarint(buf[:], e.Cycle-prev)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = e.Cycle
+		n = binary.PutUvarint(buf[:], uint64(e.Thread))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the compact binary form.
+func ReadBinary(r io.Reader) (Header, []Event, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return Header{}, nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hlen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
+		return Header{}, nil, err
+	}
+	if hlen > 1<<20 {
+		return Header{}, nil, fmt.Errorf("trace: implausible header length %d", hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return Header{}, nil, err
+	}
+	var h Header
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if err := h.Validate(); err != nil {
+		return Header{}, nil, err
+	}
+	var events []Event
+	var cycle uint64
+	for {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return Header{}, nil, err
+		}
+		cycle += delta
+		thread, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("trace: truncated event %d: %w", len(events), err)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("trace: truncated event %d: %w", len(events), err)
+		}
+		if Kind(kind) > MemAccess {
+			return Header{}, nil, fmt.Errorf("trace: unknown kind %d in event %d", kind, len(events))
+		}
+		if thread >= uint64(h.Threads) {
+			return Header{}, nil, fmt.Errorf("trace: thread %d out of range in event %d", thread, len(events))
+		}
+		events = append(events, Event{Cycle: cycle, Thread: uint32(thread), Kind: Kind(kind)})
+	}
+	return h, events, nil
+}
+
+// Generate synthesizes a trace from a workload: each thread emits cache
+// and memory events as Bernoulli processes at its (c_j, m_j) rates,
+// interpreted as requests per rateUnit cycles.
+func Generate(w *workload.Workload, cycles uint64, rateUnit float64, seed uint64) (Header, []Event, error) {
+	if err := w.Validate(); err != nil {
+		return Header{}, nil, err
+	}
+	if cycles == 0 || rateUnit <= 0 {
+		return Header{}, nil, fmt.Errorf("trace: need positive cycles and rate unit")
+	}
+	rng := stats.NewRand(seed)
+	cr := w.CacheRates()
+	mr := w.MemRates()
+	h := Header{Name: w.Name, Threads: w.NumThreads(), Cycles: cycles}
+	var events []Event
+	for cyc := uint64(0); cyc < cycles; cyc++ {
+		for j := range cr {
+			if cr[j] > 0 && rng.Float64() < cr[j]/rateUnit {
+				events = append(events, Event{Cycle: cyc, Thread: uint32(j), Kind: CacheAccess})
+			}
+			if mr[j] > 0 && rng.Float64() < mr[j]/rateUnit {
+				events = append(events, Event{Cycle: cyc, Thread: uint32(j), Kind: MemAccess})
+			}
+		}
+	}
+	return h, events, nil
+}
+
+// Rates recovers per-thread (cache, mem) request rates from a trace, in
+// requests per rateUnit cycles — the inverse of Generate, and the
+// operation a runtime mapper performs on observed statistics
+// (Section IV.B's dynamic remapping).
+func Rates(h Header, events []Event, rateUnit float64) (cache, mem []float64, err error) {
+	if err := h.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if rateUnit <= 0 {
+		return nil, nil, fmt.Errorf("trace: need positive rate unit")
+	}
+	cache = make([]float64, h.Threads)
+	mem = make([]float64, h.Threads)
+	for i, e := range events {
+		if int(e.Thread) >= h.Threads {
+			return nil, nil, fmt.Errorf("trace: event %d thread %d out of range", i, e.Thread)
+		}
+		switch e.Kind {
+		case CacheAccess:
+			cache[e.Thread]++
+		case MemAccess:
+			mem[e.Thread]++
+		default:
+			return nil, nil, fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	scale := rateUnit / float64(h.Cycles)
+	for j := range cache {
+		cache[j] *= scale
+		mem[j] *= scale
+	}
+	return cache, mem, nil
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"obm/internal/workload"
+)
+
+func sampleTrace() (Header, []Event) {
+	h := Header{Name: "t", Threads: 4, Cycles: 100}
+	events := []Event{
+		{Cycle: 0, Thread: 0, Kind: CacheAccess},
+		{Cycle: 3, Thread: 1, Kind: MemAccess},
+		{Cycle: 3, Thread: 2, Kind: CacheAccess},
+		{Cycle: 99, Thread: 3, Kind: CacheAccess},
+	}
+	return h, events
+}
+
+func TestKindString(t *testing.T) {
+	if CacheAccess.String() != "cache" || MemAccess.String() != "mem" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestHeaderValidate(t *testing.T) {
+	if err := (Header{Threads: 1, Cycles: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Header{Threads: 0, Cycles: 1}).Validate(); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if err := (Header{Threads: 1, Cycles: 0}).Validate(); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	h, events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	h2, ev2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("header %+v != %+v", h2, h)
+	}
+	if len(ev2) != len(events) {
+		t.Fatalf("got %d events", len(ev2))
+	}
+	for i := range events {
+		if ev2[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, ev2[i], events[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	h, events := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	h2, ev2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h || len(ev2) != len(events) {
+		t.Fatalf("round trip mismatch: %+v, %d events", h2, len(ev2))
+	}
+	for i := range events {
+		if ev2[i] != events[i] {
+			t.Errorf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	w := workload.MustConfig("C1")
+	h, events, err := Generate(w, 5000, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jbuf, bbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bbuf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	if bbuf.Len() >= jbuf.Len()/3 {
+		t.Errorf("binary (%d B) should be well under a third of JSON (%d B)", bbuf.Len(), jbuf.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadBinary(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Valid magic, truncated afterwards.
+	if _, _, err := ReadBinary(strings.NewReader("OBM1")); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestWriteBinaryRejectsUnordered(t *testing.T) {
+	h := Header{Name: "x", Threads: 2, Cycles: 10}
+	events := []Event{{Cycle: 5, Thread: 0}, {Cycle: 3, Thread: 1}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, h, events); err == nil {
+		t.Error("out-of-order events accepted")
+	}
+}
+
+func TestReadBinaryRejectsBadThread(t *testing.T) {
+	h := Header{Name: "x", Threads: 1, Cycles: 10}
+	events := []Event{{Cycle: 1, Thread: 5, Kind: CacheAccess}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBinary(&buf); err == nil {
+		t.Error("out-of-range thread accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	w := workload.MustConfig("C2")
+	if _, _, err := Generate(w, 0, 2000, 1); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, _, err := Generate(w, 100, 0, 1); err == nil {
+		t.Error("zero rate unit accepted")
+	}
+	if _, _, err := Generate(&workload.Workload{}, 100, 2000, 1); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+// TestGenerateRatesRoundTrip: rates recovered from a generated trace
+// converge to the workload's rates.
+func TestGenerateRatesRoundTrip(t *testing.T) {
+	w := workload.MustConfig("C1")
+	const cycles = 400_000
+	h, events, err := Generate(w, cycles, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, mem, err := Rates(h, events, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, wm := w.CacheRates(), w.MemRates()
+	var totGot, totWant float64
+	for j := range wc {
+		totGot += cache[j] + mem[j]
+		totWant += wc[j] + wm[j]
+	}
+	if rel := math.Abs(totGot-totWant) / totWant; rel > 0.05 {
+		t.Errorf("total recovered rate off by %.1f%%", rel*100)
+	}
+	// Hot threads recover accurately.
+	for j := range wc {
+		if wc[j] > 5 {
+			if rel := math.Abs(cache[j]-wc[j]) / wc[j]; rel > 0.2 {
+				t.Errorf("thread %d cache rate %.3f vs workload %.3f", j, cache[j], wc[j])
+			}
+		}
+	}
+}
+
+func TestRatesValidation(t *testing.T) {
+	h, events := sampleTrace()
+	if _, _, err := Rates(h, events, 0); err == nil {
+		t.Error("zero rate unit accepted")
+	}
+	bad := []Event{{Cycle: 1, Thread: 99, Kind: CacheAccess}}
+	if _, _, err := Rates(h, bad, 2000); err == nil {
+		t.Error("out-of-range thread accepted")
+	}
+	badKind := []Event{{Cycle: 1, Thread: 0, Kind: Kind(7)}}
+	if _, _, err := Rates(h, badKind, 2000); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEventsSortedFromGenerate(t *testing.T) {
+	w := workload.MustConfig("C3")
+	_, events, err := Generate(w, 2000, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events generated")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatal("events not sorted by cycle")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package viz renders experiment results as standalone SVG figures —
+// the closest a reproduction repository gets to regenerating the
+// paper's actual figures. Only the standard library is used; outputs
+// are deterministic byte-for-byte.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// palette holds the categorical series colors (colorblind-safe-ish).
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// seriesColor returns the color for series index i.
+func seriesColor(i int) string { return palette[i%len(palette)] }
+
+type svg struct {
+	w, h int
+	sb   strings.Builder
+}
+
+func newSVG(w, h int) *svg {
+	s := &svg{w: w, h: h}
+	fmt.Fprintf(&s.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&s.sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svg) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&s.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (s *svg) rectOutlined(x, y, w, h float64, fill, stroke string) {
+	fmt.Fprintf(&s.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" stroke-width="0.5"/>`+"\n", x, y, w, h, fill, stroke)
+}
+
+func (s *svg) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n", x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svg) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&s.sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// text escapes and places a label. anchor: start|middle|end.
+func (s *svg) text(x, y float64, size int, anchor, fill, content string) {
+	esc := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace(content)
+	fmt.Fprintf(&s.sb, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s" fill="%s">%s</text>`+"\n", x, y, size, anchor, fill, esc)
+}
+
+func (s *svg) done() []byte {
+	s.sb.WriteString("</svg>\n")
+	return []byte(s.sb.String())
+}
+
+// heatColor maps t in [0,1] to a white→dark-blue ramp.
+func heatColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Interpolate white (255,255,255) -> #205080 (32,80,128).
+	r := int(255 - t*(255-32))
+	g := int(255 - t*(255-80))
+	b := int(255 - t*(255-128))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// Heatmap renders a matrix of values as shaded tiles with the numbers
+// overlaid — the paper's Figure 3 style.
+func Heatmap(title string, vals [][]float64) []byte {
+	rows := len(vals)
+	cols := 0
+	if rows > 0 {
+		cols = len(vals[0])
+	}
+	const cell, margin, top = 52, 20, 40
+	s := newSVG(cols*cell+2*margin, rows*cell+top+margin)
+	s.text(float64(s.w)/2, 24, 15, "middle", "black", title)
+	var mn, mx float64
+	first := true
+	for _, row := range vals {
+		for _, v := range row {
+			if first || v < mn {
+				mn = v
+			}
+			if first || v > mx {
+				mx = v
+			}
+			first = false
+		}
+	}
+	for r, row := range vals {
+		for c, v := range row {
+			t := 0.0
+			if mx > mn {
+				t = (v - mn) / (mx - mn)
+			}
+			x := float64(margin + c*cell)
+			y := float64(top + r*cell)
+			s.rectOutlined(x, y, cell, cell, heatColor(t), "#888888")
+			txtColor := "black"
+			if t > 0.6 {
+				txtColor = "white"
+			}
+			s.text(x+cell/2, y+cell/2+4, 11, "middle", txtColor, fmt.Sprintf("%.1f", v))
+		}
+	}
+	return s.done()
+}
+
+// Grid renders an application-ID placement grid — the paper's
+// Figures 4 and 8a.
+func Grid(title string, grid [][]int) []byte {
+	rows := len(grid)
+	cols := 0
+	if rows > 0 {
+		cols = len(grid[0])
+	}
+	const cell, margin, top = 44, 20, 40
+	s := newSVG(cols*cell+2*margin, rows*cell+top+margin)
+	s.text(float64(s.w)/2, 24, 15, "middle", "black", title)
+	for r, row := range grid {
+		for c, id := range row {
+			x := float64(margin + c*cell)
+			y := float64(top + r*cell)
+			fill := "#eeeeee"
+			if id > 0 {
+				fill = seriesColor(id - 1)
+			}
+			s.rectOutlined(x, y, cell, cell, fill, "#555555")
+			s.text(x+cell/2, y+cell/2+5, 14, "middle", "white", fmt.Sprint(id))
+		}
+	}
+	return s.done()
+}
+
+// Bars renders grouped vertical bars: one group per label in groups,
+// one bar per series — the paper's Figures 9-11.
+func Bars(title string, groups, series []string, values [][]float64, unit string) []byte {
+	const w, h = 720, 360
+	const left, right, top, bottom = 60, 20, 50, 60
+	s := newSVG(w, h)
+	s.text(w/2, 24, 15, "middle", "black", title)
+	plotW := float64(w - left - right)
+	plotH := float64(h - top - bottom)
+	var mx float64
+	for _, row := range values {
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	if mx == 0 {
+		mx = 1
+	}
+	// Y axis with 5 ticks.
+	for i := 0; i <= 5; i++ {
+		v := mx * float64(i) / 5
+		y := float64(top) + plotH*(1-float64(i)/5)
+		s.line(left-4, y, float64(w-right), y, "#dddddd", 1)
+		s.text(left-8, y+4, 10, "end", "black", fmt.Sprintf("%.1f", v))
+	}
+	s.text(16, float64(top)+plotH/2, 11, "middle", "black", unit)
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(series))
+	for gi, g := range groups {
+		gx := float64(left) + groupW*float64(gi)
+		for si := range series {
+			v := values[si][gi]
+			bh := plotH * v / mx
+			x := gx + groupW*0.1 + barW*float64(si)
+			s.rect(x, float64(top)+plotH-bh, barW-1, bh, seriesColor(si))
+		}
+		s.text(gx+groupW/2, float64(h-bottom)+18, 11, "middle", "black", g)
+	}
+	// Legend.
+	lx := float64(left)
+	ly := float64(h - 18)
+	for si, name := range series {
+		s.rect(lx, ly-9, 10, 10, seriesColor(si))
+		s.text(lx+14, ly, 11, "start", "black", name)
+		lx += float64(14 + 8*len(name) + 24)
+	}
+	s.line(left, float64(top)+plotH, float64(w-right), float64(top)+plotH, "black", 1)
+	return s.done()
+}
+
+// Lines renders one or more series over a shared x axis — the paper's
+// Figure 12 and the load-sweep curves. Series iterate in the order of
+// the names slice for deterministic output.
+func Lines(title, xLabel, yLabel string, xs []float64, names []string, series map[string][]float64) []byte {
+	const w, h = 720, 360
+	const left, right, top, bottom = 70, 20, 50, 60
+	s := newSVG(w, h)
+	s.text(w/2, 24, 15, "middle", "black", title)
+	plotW := float64(w - left - right)
+	plotH := float64(h - top - bottom)
+	var xmn, xmx, ymx float64
+	first := true
+	for _, x := range xs {
+		if first || x < xmn {
+			xmn = x
+		}
+		if first || x > xmx {
+			xmx = x
+		}
+		first = false
+	}
+	for _, name := range names {
+		for _, v := range series[name] {
+			if v > ymx {
+				ymx = v
+			}
+		}
+	}
+	if xmx == xmn {
+		xmx = xmn + 1
+	}
+	if ymx == 0 {
+		ymx = 1
+	}
+	px := func(x float64) float64 { return float64(left) + plotW*(x-xmn)/(xmx-xmn) }
+	py := func(y float64) float64 { return float64(top) + plotH*(1-y/ymx) }
+	for i := 0; i <= 5; i++ {
+		v := ymx * float64(i) / 5
+		s.line(left-4, py(v), float64(w-right), py(v), "#dddddd", 1)
+		s.text(left-8, py(v)+4, 10, "end", "black", fmt.Sprintf("%.1f", v))
+	}
+	for si, name := range names {
+		vals := series[name]
+		for i := 1; i < len(vals) && i < len(xs); i++ {
+			s.line(px(xs[i-1]), py(vals[i-1]), px(xs[i]), py(vals[i]), seriesColor(si), 2)
+		}
+		for i := 0; i < len(vals) && i < len(xs); i++ {
+			s.circle(px(xs[i]), py(vals[i]), 3, seriesColor(si))
+		}
+	}
+	s.line(left, float64(top)+plotH, float64(w-right), float64(top)+plotH, "black", 1)
+	s.line(left, top, left, float64(top)+plotH, "black", 1)
+	s.text(float64(left)+plotW/2, float64(h)-28, 11, "middle", "black", xLabel)
+	s.text(16, float64(top)+plotH/2, 11, "middle", "black", yLabel)
+	lx := float64(left)
+	ly := float64(h - 10)
+	for si, name := range names {
+		s.rect(lx, ly-9, 10, 10, seriesColor(si))
+		s.text(lx+14, ly, 11, "start", "black", name)
+		lx += float64(14 + 8*len(name) + 24)
+	}
+	return s.done()
+}

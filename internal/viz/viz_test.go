@@ -1,0 +1,136 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML and returns element counts by name.
+func wellFormed(t *testing.T, svg []byte) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	if counts["svg"] != 1 {
+		t.Fatalf("expected exactly one <svg>, got %d", counts["svg"])
+	}
+	return counts
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("TC(k)", [][]float64{{1, 2}, {3, 4}})
+	counts := wellFormed(t, out)
+	// Background + 4 cells.
+	if counts["rect"] < 5 {
+		t.Errorf("rect count %d, want >= 5", counts["rect"])
+	}
+	// Title + 4 value labels.
+	if counts["text"] < 5 {
+		t.Errorf("text count %d, want >= 5", counts["text"])
+	}
+	if !strings.Contains(string(out), "TC(k)") {
+		t.Error("title missing")
+	}
+}
+
+func TestHeatmapConstantField(t *testing.T) {
+	// All-equal values must not divide by zero.
+	out := Heatmap("flat", [][]float64{{5, 5}, {5, 5}})
+	wellFormed(t, out)
+}
+
+func TestGrid(t *testing.T) {
+	out := Grid("mapping", [][]int{{1, 2}, {3, 4}})
+	counts := wellFormed(t, out)
+	if counts["rect"] < 5 {
+		t.Errorf("rect count %d", counts["rect"])
+	}
+	for _, id := range []string{">1<", ">2<", ">3<", ">4<"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("app id %s missing", id)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("max-APL", []string{"C1", "C2"}, []string{"Global", "SSS"},
+		[][]float64{{24, 25}, {21, 22}}, "cycles")
+	counts := wellFormed(t, out)
+	// Background + 4 bars + 2 legend swatches.
+	if counts["rect"] < 7 {
+		t.Errorf("rect count %d, want >= 7", counts["rect"])
+	}
+	if !strings.Contains(string(out), "Global") || !strings.Contains(string(out), "SSS") {
+		t.Error("legend missing")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars("zeros", []string{"a"}, []string{"s"}, [][]float64{{0}}, "x")
+	wellFormed(t, out)
+}
+
+func TestLines(t *testing.T) {
+	xs := []float64{0.1, 1, 10, 100}
+	out := Lines("SA vs runtime", "x SSS runtime", "max-APL", xs,
+		[]string{"SA", "SSS"},
+		map[string][]float64{"SA": {22, 21.6, 21.5, 21.47}, "SSS": {21.57, 21.57, 21.57, 21.57}})
+	counts := wellFormed(t, out)
+	if counts["circle"] != 8 {
+		t.Errorf("circle count %d, want 8 markers", counts["circle"])
+	}
+	if counts["line"] < 6 {
+		t.Errorf("line count %d", counts["line"])
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	// Single point, zero range: no NaN coordinates.
+	out := Lines("one", "x", "y", []float64{5}, []string{"s"}, map[string][]float64{"s": {0}})
+	wellFormed(t, out)
+	if strings.Contains(string(out), "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestTextEscaping(t *testing.T) {
+	out := Grid("a<b&c>d", [][]int{{1}})
+	wellFormed(t, out)
+	if !strings.Contains(string(out), "a&lt;b&amp;c&gt;d") {
+		t.Error("special characters not escaped")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []byte {
+		return Bars("t", []string{"a", "b"}, []string{"x", "y"}, [][]float64{{1, 2}, {3, 4}}, "u")
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, tc := range []float64{-1, 0, 0.5, 1, 2} {
+		c := heatColor(tc)
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("heatColor(%v) = %q", tc, c)
+		}
+	}
+	if heatColor(0) != "#ffffff" {
+		t.Errorf("cold end = %s, want white", heatColor(0))
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateMomentMatch(t *testing.T) {
+	spec := GenSpec{
+		Name: "gen", NumApps: 4, ThreadsPer: 16,
+		Cache: Stats{Mean: 7.0, Std: 9.4},
+		Mem:   Stats{Mean: 0.9, Std: 3.1},
+		Seed:  1,
+	}
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rs := w.ComputeRateStats()
+	check := func(name string, got, want float64) {
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s = %v, want 0", name, got)
+			}
+			return
+		}
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("%s = %v, want %v (within 1%%)", name, got, want)
+		}
+	}
+	check("cache mean", rs.Cache.Mean, spec.Cache.Mean)
+	check("cache std", rs.Cache.Std, spec.Cache.Std)
+	check("mem mean", rs.Mem.Mean, spec.Mem.Mean)
+	check("mem std", rs.Mem.Std, spec.Mem.Std)
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	spec := GenSpec{Name: "d", NumApps: 2, ThreadsPer: 4,
+		Cache: Stats{Mean: 5, Std: 5}, Mem: Stats{Mean: 1, Std: 1}, Seed: 42}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	at, bt := a.Threads(), b.Threads()
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatal("same spec+seed must produce identical workloads")
+		}
+	}
+	spec.Seed = 43
+	c := MustGenerate(spec)
+	diff := false
+	for i, th := range c.Threads() {
+		if th != at[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seed produced identical workload")
+	}
+}
+
+func TestGenerateAppsSortedByRate(t *testing.T) {
+	spec := GenSpec{Name: "s", NumApps: 4, ThreadsPer: 16,
+		Cache: Stats{Mean: 7, Std: 9}, Mem: Stats{Mean: 1, Std: 3}, Seed: 7}
+	w := MustGenerate(spec)
+	for i := 1; i < len(w.Apps); i++ {
+		if w.Apps[i-1].TotalRate() > w.Apps[i].TotalRate() {
+			t.Fatal("applications not sorted ascending by total rate")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenSpec{
+		{NumApps: 0, ThreadsPer: 4, Cache: Stats{Mean: 1}},
+		{NumApps: 4, ThreadsPer: 0, Cache: Stats{Mean: 1}},
+		{NumApps: 4, ThreadsPer: 4, Cache: Stats{Mean: 0}},
+		{NumApps: 4, ThreadsPer: 4, Cache: Stats{Mean: 1, Std: -1}},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateNonNegativeRates(t *testing.T) {
+	// Extreme spread: clamping must keep everything non-negative.
+	spec := GenSpec{Name: "x", NumApps: 4, ThreadsPer: 16,
+		Cache: Stats{Mean: 2, Std: 14}, Mem: Stats{Mean: 0.4, Std: 2.8}, Seed: 3}
+	w := MustGenerate(spec)
+	for _, th := range w.Threads() {
+		if th.CacheRate < 0 || th.MemRate < 0 {
+			t.Fatalf("negative rate generated: %+v", th)
+		}
+	}
+}
+
+func TestGenerateZeroStd(t *testing.T) {
+	spec := GenSpec{Name: "z", NumApps: 2, ThreadsPer: 2,
+		Cache: Stats{Mean: 3, Std: 0}, Mem: Stats{Mean: 1, Std: 0}, Seed: 1}
+	w := MustGenerate(spec)
+	for _, th := range w.Threads() {
+		if th.CacheRate != 3 || th.MemRate != 1 {
+			t.Fatalf("zero-std workload not constant: %+v", th)
+		}
+	}
+}
