@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench vet fmt experiments figures clean
+.PHONY: all build test test-short bench bench-json check vet fmt experiments figures clean
 
 all: build test
 
@@ -15,6 +15,15 @@ test-short:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Record the simulator benchmarks (best of 3) as BENCH_noc.json.
+bench-json:
+	go test -run '^$$' -bench 'NoC|Fig8|Fig9' -benchmem -count=3 . | go run ./cmd/benchjson -out BENCH_noc.json
+
+# Everything CI gates on: vet, build, the full test suite, and the race
+# detector over the packages that fan work out across goroutines.
+check: vet build test
+	go test -race ./internal/experiments/... ./internal/mapping/... ./internal/sim/...
 
 vet:
 	go vet ./...

@@ -412,6 +412,69 @@ func BenchmarkNoCCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkNoCStep measures the hot Step loop itself at two operating
+// points. "idle" is an empty network (pure worklist overhead per
+// cycle); "loaded" keeps a steady packet population flowing by
+// re-injecting on every delivery, reporting sustained flits/s and the
+// steady-state allocation count (the overhaul's target is zero).
+func BenchmarkNoCStep(b *testing.B) {
+	b.Run("idle", func(b *testing.B) {
+		net := noc.MustNew(noc.DefaultConfig())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Step()
+		}
+	})
+	b.Run("loaded", func(b *testing.B) {
+		net := noc.MustNew(noc.DefaultConfig())
+		rng := stats.NewRand(23)
+		var flits int64
+		launch := func(src, dst mesh.Tile) {
+			p := net.AllocPacket()
+			p.Src, p.Dst, p.Type, p.App = src, dst, noc.CacheReply, 0
+			if err := net.Inject(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Every delivery immediately launches a successor between two
+		// fresh random tiles, holding the in-flight population constant
+		// without the driver allocating anything per cycle.
+		net.SetDeliveryHandler(func(p *noc.Packet) {
+			flits += int64(p.Type.Flits())
+			src := mesh.Tile(rng.Intn(64))
+			dst := mesh.Tile((int(src) + 1 + rng.Intn(63)) % 64)
+			launch(src, dst)
+		})
+		for k := 0; k < 16; k++ { // steady population: 16 packets in flight
+			launch(mesh.Tile(4*k), mesh.Tile((4*k+13)%64))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Step()
+		}
+		b.ReportMetric(float64(flits)/b.Elapsed().Seconds(), "flits/s")
+	})
+}
+
+// BenchmarkNoCLoadSweep times one latency-vs-load measurement point at
+// a moderate uniform-random load, the unit of work the loadsweep
+// experiment fans out across cores.
+func BenchmarkNoCLoadSweep(b *testing.B) {
+	cfg := noc.DefaultConfig()
+	sw := noc.DefaultSweepConfig()
+	sw.Cycles = 2_000
+	var flits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := noc.MeasureLoadPoint(cfg, noc.UniformRandom{}, 0.04, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flits += int64(pt.Throughput * float64(sw.Cycles) * 64)
+	}
+	b.ReportMetric(float64(flits)/b.Elapsed().Seconds(), "flits/s")
+}
+
 // BenchmarkRateDrivenSim times the full open-loop simulation used by
 // Figure 11, per simulated kilocycle.
 func BenchmarkRateDrivenSim(b *testing.B) {

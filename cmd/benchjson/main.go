@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON benchmark record. Repeated runs of the same benchmark
+// (-count=N) are folded into one entry: timing and allocation numbers
+// keep the best (minimum) run, throughput-style metrics (units ending
+// in "/s", like the simulator's flits/s) keep the maximum — both read
+// "the machine's capability, not its noise floor".
+//
+// Usage:
+//
+//	go test -bench 'NoC|Fig8|Fig9' -benchmem -count=3 | go run ./cmd/benchjson -out BENCH_noc.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's aggregated record.
+type Entry struct {
+	// Runs is how many result lines were folded in.
+	Runs int `json:"runs"`
+	// NsPerOp is the best wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are present when -benchmem was on.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g. "flits/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseBench folds benchmark result lines from r into per-name entries.
+// Non-benchmark lines are ignored, so raw `go test` output pipes in
+// directly.
+func parseBench(r io.Reader) (map[string]*Entry, error) {
+	out := map[string]*Entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue
+		}
+		name := trimProcSuffix(f[0])
+		e := out[name]
+		if e == nil {
+			e = &Entry{}
+			out[name] = e
+		}
+		e.Runs++
+		first := e.Runs == 1
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", f[i], line)
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				if first || v < e.NsPerOp {
+					e.NsPerOp = v
+				}
+			case "allocs/op":
+				e.AllocsPerOp = foldMin(e.AllocsPerOp, v)
+			case "B/op":
+				e.BytesPerOp = foldMin(e.BytesPerOp, v)
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				cur, seen := e.Metrics[unit]
+				switch {
+				case !seen:
+					e.Metrics[unit] = v
+				case strings.HasSuffix(unit, "/s") && v > cur:
+					e.Metrics[unit] = v
+				case !strings.HasSuffix(unit, "/s") && v < cur:
+					e.Metrics[unit] = v
+				}
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo-8" -> "BenchmarkFoo").
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func foldMin(cur *float64, v float64) *float64 {
+	if cur == nil || v < *cur {
+		return &v
+	}
+	return cur
+}
+
+func main() {
+	out := flag.String("out", "BENCH_noc.json", "output JSON file")
+	flag.Parse()
+	entries, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("wrote %s (%d benchmarks):\n", *out, len(entries))
+	for _, n := range names {
+		e := entries[n]
+		line := fmt.Sprintf("  %-40s %12.1f ns/op", n, e.NsPerOp)
+		if e.AllocsPerOp != nil {
+			line += fmt.Sprintf("  %6.0f allocs/op", *e.AllocsPerOp)
+		}
+		if fs, ok := e.Metrics["flits/s"]; ok {
+			line += fmt.Sprintf("  %12.0f flits/s", fs)
+		}
+		fmt.Println(line)
+	}
+}

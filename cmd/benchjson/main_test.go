@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkNoCStep/idle-4      	323690487	         3.884 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoCStep/loaded-4    	  334402	      3915 ns/op	    747969 flits/s	       0 B/op	       0 allocs/op
+BenchmarkNoCStep/loaded-4    	  300000	      4100 ns/op	    700000 flits/s	       0 B/op	       0 allocs/op
+BenchmarkNoCStep/loaded-4    	  310000	      3900 ns/op	    741000 flits/s	       1 B/op	       1 allocs/op
+BenchmarkFig9                	       2	 600000000 ns/op
+PASS
+ok  	obm	4.318s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	}
+
+	loaded := got["BenchmarkNoCStep/loaded"]
+	if loaded == nil {
+		t.Fatal("missing BenchmarkNoCStep/loaded (GOMAXPROCS suffix not trimmed?)")
+	}
+	if loaded.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", loaded.Runs)
+	}
+	if loaded.NsPerOp != 3900 {
+		t.Errorf("NsPerOp = %v, want the minimum 3900", loaded.NsPerOp)
+	}
+	if loaded.AllocsPerOp == nil || *loaded.AllocsPerOp != 0 {
+		t.Errorf("AllocsPerOp = %v, want min 0", loaded.AllocsPerOp)
+	}
+	if fs := loaded.Metrics["flits/s"]; fs != 747969 {
+		t.Errorf("flits/s = %v, want the maximum 747969", fs)
+	}
+
+	idle := got["BenchmarkNoCStep/idle"]
+	if idle == nil || idle.NsPerOp != 3.884 || idle.Runs != 1 {
+		t.Errorf("idle entry wrong: %+v", idle)
+	}
+
+	fig9 := got["BenchmarkFig9"]
+	if fig9 == nil {
+		t.Fatal("missing BenchmarkFig9")
+	}
+	if fig9.AllocsPerOp != nil || fig9.Metrics != nil {
+		t.Errorf("fig9 should have timing only: %+v", fig9)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX 10 oops ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed value line parsed without error")
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":   "BenchmarkFoo/sub",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkRate-Limited": "BenchmarkRate-Limited",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -49,6 +49,18 @@ func (o Options) MCSamples() int {
 	return 10_000
 }
 
+// SimReplicas returns the number of independent seeded simulator
+// replicas that measurement experiments average (sharded across cores
+// by sim.RunReplicas; replica 0 reuses the base seed, so a one-replica
+// run reproduces the pre-replication output exactly). Quick keeps a
+// single replica so -short test output and runtime are unchanged.
+func (o Options) SimReplicas() int {
+	if o.Quick {
+		return 1
+	}
+	return 3
+}
+
 // SAIters returns the simulated-annealing iteration budget used where
 // the paper gives SA "similar runtime" to SSS; 18k iterations matches
 // SSS wall time on the reference machine (see EXPERIMENTS.md).

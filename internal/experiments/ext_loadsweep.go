@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"obm/internal/noc"
+	"obm/internal/sim"
 )
 
 func init() { register(extLoadSweep{}) }
@@ -42,19 +43,33 @@ func (e extLoadSweep) Run(o Options) (Result, error) {
 		noc.BitComplement{},
 		noc.Hotspot{Hot: 27, Frac: 0.2},
 	}
-	res := &LoadSweepResult{}
-	for _, pat := range pats {
-		pts, err := noc.LoadSweep(cfg, pat, sw)
-		if err != nil {
-			return nil, err
+	// Every (pattern, rate) point is an independent deterministic
+	// simulation (noc.MeasureLoadPoint), so flatten the grid into one
+	// job list and shard it across cores; reassembling by index keeps
+	// the curves identical to the serial sweep.
+	type job struct{ pi, ri int }
+	var jobs []job
+	for pi := range pats {
+		for ri := range sw.Rates {
+			jobs = append(jobs, job{pi, ri})
 		}
+	}
+	pts, err := sim.RunReplicas(len(jobs), 0, func(i int) (noc.LoadPoint, error) {
+		j := jobs[i]
+		return noc.MeasureLoadPoint(cfg, pats[j.pi], sw.Rates[j.ri], sw)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadSweepResult{}
+	for pi, pat := range pats {
 		zl, err := noc.ZeroLoadLatency(cfg, pat, 200_000, sw.Seed)
 		if err != nil {
 			return nil, err
 		}
 		res.Patterns = append(res.Patterns, pat.Name())
 		res.ZeroLoad = append(res.ZeroLoad, zl)
-		res.Points = append(res.Points, pts)
+		res.Points = append(res.Points, pts[pi*len(sw.Rates):(pi+1)*len(sw.Rates)])
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"obm/internal/mapping"
+	"obm/internal/sim"
 )
 
 func init() { register(fig8{}) }
@@ -24,26 +25,39 @@ type Fig8Result struct {
 }
 
 func (f fig8) Run(o Options) (Result, error) {
-	p, err := problemFor("C1")
+	// Evaluate the two mappers as independent jobs; each builds its own
+	// Problem so the fan-out shares nothing.
+	type eval struct {
+		grid   [][]int
+		apls   []float64
+		maxAPL float64
+	}
+	mappers := []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}}
+	evs, err := sim.RunReplicas(len(mappers), 0, func(i int) (eval, error) {
+		p, err := problemFor("C1")
+		if err != nil {
+			return eval{}, err
+		}
+		mp, err := mapping.MapAndCheck(mappers[i], p)
+		if err != nil {
+			return eval{}, err
+		}
+		ev := p.Evaluate(mp)
+		out := eval{apls: ev.APLs, maxAPL: ev.MaxAPL}
+		if _, isSSS := mappers[i].(mapping.SortSelectSwap); isSSS {
+			out.grid = p.AppGrid(mp)
+		}
+		return out, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
-	if err != nil {
-		return nil, err
-	}
-	gm, err := mapping.MapAndCheck(mapping.Global{}, p)
-	if err != nil {
-		return nil, err
-	}
-	evS := p.Evaluate(sm)
-	evG := p.Evaluate(gm)
 	return &Fig8Result{
-		Grid:       p.AppGrid(sm),
-		SSSAPLs:    evS.APLs,
-		GlobalAPLs: evG.APLs,
-		SSSMax:     evS.MaxAPL,
-		GlobalMax:  evG.MaxAPL,
+		Grid:       evs[1].grid,
+		SSSAPLs:    evs[1].apls,
+		GlobalAPLs: evs[0].apls,
+		SSSMax:     evs[1].maxAPL,
+		GlobalMax:  evs[0].maxAPL,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"obm/internal/mapping"
+	"obm/internal/sim"
 	"obm/internal/workload"
 )
 
@@ -46,26 +47,33 @@ func (f fig9) Run(o Options) (Result, error) {
 	for _, m := range mappers {
 		res.Mappers = append(res.Mappers, shortName(m))
 	}
-	res.Values = make([][]float64, len(mappers))
-	for mi := range mappers {
-		res.Values[mi] = make([]float64, len(cfgs))
-	}
-	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
-		p, err := problemFor(cfg)
+	// One job per configuration, each building its own Problem
+	// (share-nothing); RunReplicas returns columns in config order, so
+	// the table is identical to the serial loop's.
+	cols, err := sim.RunReplicas(len(cfgs), 0, func(ci int) ([]float64, error) {
+		p, err := problemFor(cfgs[ci])
 		if err != nil {
-			return err
+			return nil, err
 		}
+		col := make([]float64, len(mappers))
 		for mi, m := range mappers {
 			mp, err := mapping.MapAndCheck(m, p)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			res.Values[mi][ci] = p.MaxAPL(mp)
+			col[mi] = p.MaxAPL(mp)
 		}
-		return nil
+		return col, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	res.Values = make([][]float64, len(mappers))
+	for mi := range mappers {
+		res.Values[mi] = make([]float64, len(cfgs))
+		for ci := range cfgs {
+			res.Values[mi][ci] = cols[ci][mi]
+		}
 	}
 	return res, nil
 }

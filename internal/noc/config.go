@@ -124,6 +124,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: invalid mesh %dx%d", c.Rows, c.Cols)
 	case c.VCsPerClass <= 0:
 		return fmt.Errorf("noc: need at least one VC per class, got %d", c.VCsPerClass)
+	case c.VCsPerClass*int(NumClasses) > 64:
+		// The router tracks per-port VC occupancy in a 64-bit mask.
+		return fmt.Errorf("noc: at most 64 VCs per port, got %d", c.VCsPerClass*int(NumClasses))
 	case c.BufDepth <= 0:
 		return fmt.Errorf("noc: need positive buffer depth, got %d", c.BufDepth)
 	case c.RouterLatency < 1:

@@ -1,0 +1,158 @@
+package noc
+
+import (
+	"testing"
+
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+// fingerprintStats folds every observable statistic of a simulation —
+// counters, per-type and per-app aggregates, link flit counts, and
+// histogram shape — into one FNV-1a style hash. The golden tests pin
+// these hashes so hot-path refactors (calendar queues, circular flit
+// buffers, active-router worklists, packet pooling) provably do not
+// change simulated behaviour bit-for-bit.
+func fingerprintStats(st Stats) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	mix(st.Cycles)
+	mix(st.InjectedPackets)
+	mix(st.DeliveredPackets)
+	mix(st.InjectedFlits)
+	mix(st.DeliveredFlits)
+	mix(st.FlitHops)
+	mix(st.QueuingSum)
+	mix(st.LocalDeliveries)
+	for _, ts := range st.ByType {
+		mix(ts.Packets)
+		mix(ts.LatencySum)
+		mix(ts.HopSum)
+	}
+	for _, row := range st.LinkFlits {
+		for _, f := range row {
+			mix(f)
+		}
+	}
+	for _, ts := range st.ByApp {
+		mix(ts.Packets)
+		mix(ts.LatencySum)
+		mix(ts.HopSum)
+	}
+	for i := range st.HistByApp {
+		hg := &st.HistByApp[i]
+		mix(hg.Count())
+		mix(int64(hg.Percentile(50)))
+		mix(int64(hg.Percentile(95)))
+		mix(int64(hg.Percentile(99)))
+	}
+	return h
+}
+
+// goldenRun drives cfg with a seeded Bernoulli workload for cycles
+// cycles, drains, and returns the stats fingerprint.
+func goldenRun(t *testing.T, cfg Config, seed uint64, rate float64, cycles int) uint64 {
+	t.Helper()
+	n := MustNew(cfg)
+	m := n.Mesh()
+	rng := stats.NewRand(seed)
+	types := []PacketType{CacheRequest, CacheReply, CacheForward, MemRequest, MemReply, Writeback}
+	for cyc := 0; cyc < cycles; cyc++ {
+		for _, src := range m.Tiles() {
+			if rng.Float64() < rate {
+				dst := mesh.Tile(rng.Intn(m.NumTiles()))
+				pt := types[rng.Intn(len(types))]
+				app := rng.Intn(3)
+				if err := n.Inject(&Packet{Src: src, Dst: dst, Type: pt, App: app}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		n.Step()
+	}
+	if err := n.Drain(200_000); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprintStats(n.Stats())
+}
+
+// TestGoldenDeterminism pins fixed-seed statistics fingerprints captured
+// from the pre-calendar-queue simulator (map-bucketed events, slice
+// shifting flit queues, full-router scans). Any divergence means the
+// hot-path rework changed simulated behaviour, not just its speed.
+func TestGoldenDeterminism(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    func() Config
+		seed   uint64
+		rate   float64
+		cycles int
+		want   uint64
+	}{
+		{
+			name:   "mesh8x8-default",
+			cfg:    DefaultConfig,
+			seed:   12345,
+			rate:   0.02,
+			cycles: 4000,
+			want:   15862206071943193983,
+		},
+		{
+			name: "mesh4x4-creditdelay-yx",
+			cfg: func() Config {
+				c := DefaultConfig()
+				c.Rows, c.Cols = 4, 4
+				c.CreditDelay = 2
+				c.Routing = RoutingYX
+				return c
+			},
+			seed:   777,
+			rate:   0.05,
+			cycles: 3000,
+			want:   18075458078137233062,
+		},
+		{
+			name: "torus4x4-dateline",
+			cfg: func() Config {
+				c := DefaultConfig()
+				c.Rows, c.Cols = 4, 4
+				c.Torus = true
+				c.CreditDelay = 1
+				return c
+			},
+			seed:   31337,
+			rate:   0.04,
+			cycles: 3000,
+			want:   8480573589452264423,
+		},
+		{
+			name: "mesh4x4-deep-contention",
+			cfg: func() Config {
+				c := DefaultConfig()
+				c.Rows, c.Cols = 4, 4
+				c.VCsPerClass = 2
+				c.BufDepth = 2
+				c.LinkLatency = 3
+				return c
+			},
+			seed:   99,
+			rate:   0.10,
+			cycles: 2500,
+			want:   5253779206098163401,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := goldenRun(t, tc.cfg(), tc.seed, tc.rate, tc.cycles)
+			if got != tc.want {
+				t.Errorf("stats fingerprint = %d, want %d (simulated behaviour changed)", got, tc.want)
+			}
+			if again := goldenRun(t, tc.cfg(), tc.seed, tc.rate, tc.cycles); again != got {
+				t.Errorf("rerun fingerprint = %d, first run %d (nondeterministic)", again, got)
+			}
+		})
+	}
+}

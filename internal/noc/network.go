@@ -23,8 +23,17 @@ type creditReturn struct {
 
 // Network is the whole on-chip network: routers, links, NIs, and the
 // cycle loop. It is not safe for concurrent use; drive it from one
-// goroutine (experiments parallelize across Network instances instead,
-// the idiomatic share-nothing decomposition for simulators).
+// goroutine (experiments parallelize across Network instances instead —
+// see sim.RunReplicas — the idiomatic share-nothing decomposition for
+// simulators).
+//
+// The cycle loop is engineered to be allocation-free in steady state:
+// future link arrivals and credit returns live in fixed-size
+// calendar-queue rings (delays are small bounded constants from Config,
+// so a power-of-two ring indexed by cycle&mask replaces the old
+// map[int64][]arrival with its per-cycle bucket churn), flit queues are
+// fixed-capacity circular buffers, and Step visits only routers and NIs
+// on the active worklists instead of scanning every tile.
 type Network struct {
 	cfg     Config
 	mesh    *mesh.Mesh
@@ -33,14 +42,48 @@ type Network struct {
 	cycle   int64
 	nextID  uint64
 	stats   Stats
-	// inflight buckets link arrivals by delivery cycle.
-	inflight map[int64][]arrival
+
+	// arrRing is the calendar queue of link arrivals: slot cycle&arrMask
+	// holds the flits landing that cycle. Slot backing slices are
+	// recycled (reset to length zero after processing), so steady-state
+	// scheduling never allocates.
+	arrRing  [][]arrival
+	arrMask  int64
 	inFlight int // flits currently on links
-	// credits buckets delayed credit returns by visibility cycle.
-	credits map[int64][]creditReturn
-	nCred   int
+
+	// credRing is the calendar queue of delayed credit returns; nil when
+	// CreditDelay is zero (credits return instantaneously).
+	credRing [][]creditReturn
+	credMask int64
+	nCred    int
+
+	// activeR lists router ids with buffered flits, ascending; activeNI
+	// lists tiles whose NI has injection backlog, ascending. Step sweeps
+	// these instead of every tile, which is what makes paper-scale loads
+	// (~0.25 packets/cycle chip-wide) cheap: almost all of a large mesh
+	// is idle almost all of the time. Ascending order preserves the
+	// exact router-iteration order of the full scan, keeping fixed-seed
+	// runs bit-identical (see TestGoldenDeterminism).
+	activeR  []int32
+	activeNI []int32
+
+	// pool recycles delivered packets handed out by AllocPacket, so a
+	// long simulation reaches a high-water mark of live packets and then
+	// stops allocating.
+	pool []*Packet
+
 	// onDeliver, when set, runs for every delivered packet (tail eject).
 	onDeliver func(*Packet)
+}
+
+// ringSize returns the smallest power of two > delay, so that a slot is
+// always drained before an event is scheduled into it again.
+func ringSize(delay int) int64 {
+	s := int64(1)
+	for s <= int64(delay) {
+		s <<= 1
+	}
+	return s
 }
 
 // New builds a network from cfg.
@@ -52,14 +95,18 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{
-		cfg:      cfg,
-		mesh:     m,
-		inflight: make(map[int64][]arrival),
-		credits:  make(map[int64][]creditReturn),
+	n := &Network{cfg: cfg, mesh: m}
+	// Link arrivals land LinkLatency+1 cycles after the grant.
+	n.arrMask = ringSize(cfg.LinkLatency+1) - 1
+	n.arrRing = make([][]arrival, n.arrMask+1)
+	if cfg.CreditDelay > 0 {
+		n.credMask = ringSize(cfg.CreditDelay) - 1
+		n.credRing = make([][]creditReturn, n.credMask+1)
 	}
 	n.routers = make([]*router, m.NumTiles())
 	n.nis = make([]*ni, m.NumTiles())
+	n.activeR = make([]int32, 0, m.NumTiles())
+	n.activeNI = make([]int32, 0, m.NumTiles())
 	for _, t := range m.Tiles() {
 		n.routers[t] = newRouter(t, n)
 		n.nis[t] = newNI(t, n)
@@ -112,12 +159,18 @@ func (n *Network) Config() Config { return n.cfg }
 // Cycle returns the current simulation time.
 func (n *Network) Cycle() int64 { return n.cycle }
 
-// Stats returns a snapshot of the accumulated statistics.
+// Stats returns a snapshot of the accumulated statistics. Every nested
+// container — per-type and per-app slices, link flit counts, and
+// histogram bucket storage — is deep-copied, so the snapshot stays
+// frozen while the simulation continues.
 func (n *Network) Stats() Stats {
 	s := n.stats
 	s.Cycles = n.cycle
 	s.ByApp = append([]TypeStats(nil), n.stats.ByApp...)
-	s.HistByApp = append([]Histogram(nil), n.stats.HistByApp...)
+	s.HistByApp = make([]Histogram, len(n.stats.HistByApp))
+	for i := range n.stats.HistByApp {
+		s.HistByApp[i] = n.stats.HistByApp[i].Clone()
+	}
 	if n.stats.LinkFlits != nil {
 		s.LinkFlits = make([][]int64, len(n.stats.LinkFlits))
 		for i, row := range n.stats.LinkFlits {
@@ -140,6 +193,22 @@ func (n *Network) ResetStats() {
 // leaves the network (including zero-hop local deliveries). Traffic
 // generators use it to issue replies.
 func (n *Network) SetDeliveryHandler(f func(*Packet)) { n.onDeliver = f }
+
+// AllocPacket returns a zeroed packet from the network's free list (or
+// a fresh one). Packets obtained here are automatically recycled after
+// delivery — the moment the delivery handler returns, the pointer is
+// dead and must not be retained or re-injected by the caller. Traffic
+// generators that inject millions of packets use this to keep the hot
+// loop allocation-free; callers that hold on to packets after delivery
+// must build them with &Packet{} instead.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pool); k > 0 {
+		p := n.pool[k-1]
+		n.pool = n.pool[:k-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
 
 // Inject submits a packet for delivery. Src and Dst must be valid
 // tiles; ID and InjectCycle are assigned here. A packet whose source
@@ -171,6 +240,27 @@ func (n *Network) Inject(p *Packet) error {
 	return nil
 }
 
+// markRouterActive adds router id to the sorted worklist.
+func (n *Network) markRouterActive(id int32) {
+	n.activeR = insertSorted(n.activeR, id)
+}
+
+// markNIActive adds tile id's NI to the sorted worklist.
+func (n *Network) markNIActive(id int32) {
+	n.activeNI = insertSorted(n.activeNI, id)
+}
+
+// insertSorted inserts v into ascending slice s (no duplicates are ever
+// offered: callers guard with a queued flag). Worklists are short and
+// nearly sorted already, so a backward scan beats binary search.
+func insertSorted(s []int32, v int32) []int32 {
+	s = append(s, v)
+	for i := len(s) - 1; i > 0 && s[i-1] > v; i-- {
+		s[i-1], s[i] = s[i], s[i-1]
+	}
+	return s
+}
+
 // returnCredit makes a freed slot visible at router up (port, vc),
 // immediately or after the configured credit delay.
 func (n *Network) returnCredit(up *router, p Port, vc int) {
@@ -179,55 +269,83 @@ func (n *Network) returnCredit(up *router, p Port, vc int) {
 		return
 	}
 	at := n.cycle + int64(n.cfg.CreditDelay)
-	n.credits[at] = append(n.credits[at], creditReturn{up, p, vc})
+	slot := at & n.credMask
+	n.credRing[slot] = append(n.credRing[slot], creditReturn{up, p, vc})
 	n.nCred++
 }
 
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
 	now := n.cycle
-	// 0. Delayed credits become visible.
-	if cr, ok := n.credits[now]; ok {
-		for _, c := range cr {
+	// 0. Delayed credits become visible. The ring slot was drained the
+	// last time this cycle index came around, so it holds exactly this
+	// cycle's credits; resetting its length recycles the backing array.
+	if n.nCred > 0 {
+		slot := &n.credRing[now&n.credMask]
+		for _, c := range *slot {
 			c.router.credits[c.port][c.vc]++
 		}
-		n.nCred -= len(cr)
-		delete(n.credits, now)
+		n.nCred -= len(*slot)
+		*slot = (*slot)[:0]
 	}
 	// 1. Link arrivals scheduled for this cycle enter input buffers.
-	if arr, ok := n.inflight[now]; ok {
-		for _, a := range arr {
+	if n.inFlight > 0 {
+		slot := &n.arrRing[now&n.arrMask]
+		for _, a := range *slot {
 			a.router.accept(a.port, a.vc, a.f)
 		}
-		n.inFlight -= len(arr)
-		delete(n.inflight, now)
+		n.inFlight -= len(*slot)
+		*slot = (*slot)[:0]
 	}
-	// 2. NIs inject.
-	for _, q := range n.nis {
-		q.inject(now)
+	// 2. NIs with backlog inject, in ascending tile order; drained NIs
+	// drop off the worklist.
+	if len(n.activeNI) > 0 {
+		keep := n.activeNI[:0]
+		for _, t := range n.activeNI {
+			q := n.nis[t]
+			q.inject(now)
+			if q.pending() > 0 {
+				keep = append(keep, t)
+			} else {
+				q.queued = false
+			}
+		}
+		n.activeNI = keep
 	}
+	if len(n.activeR) == 0 {
+		n.cycle++
+		return
+	}
+	// Compact the router worklist once per cycle: routers whose buffers
+	// drained last cycle leave; the survivors are exactly the busy set,
+	// already ascending.
+	act := n.activeR[:0]
+	for _, id := range n.activeR {
+		r := n.routers[id]
+		if r.occ == 0 {
+			r.queued = false
+			continue
+		}
+		act = append(act, id)
+	}
+	n.activeR = act
 	// 3. Route computation for newly exposed heads, then VC allocation.
 	// Each busy router first snapshots its occupied VCs once; the three
 	// stages then scan only that candidate list.
-	for _, r := range n.routers {
-		if r.occ > 0 {
-			r.gather()
-			r.routeHeads()
-		}
+	for _, id := range n.activeR {
+		n.routers[id].gather(now)
 	}
-	for _, r := range n.routers {
-		if r.occ > 0 {
-			r.allocateVCs(now)
-		}
+	for _, id := range n.activeR {
+		n.routers[id].allocateVCs(now)
 	}
 	// 4. Switch allocation and traversal.
-	for _, r := range n.routers {
-		if r.occ == 0 {
-			continue
-		}
+	for _, id := range n.activeR {
+		r := n.routers[id]
 		var inputUsed [numPorts]bool
 		for p := Port(0); p < numPorts; p++ {
-			r.arbitrate(now, p, &inputUsed)
+			if r.outReq[p] != 0 {
+				r.arbitrate(now, p, &inputUsed)
+			}
 		}
 	}
 	n.cycle++
@@ -264,7 +382,8 @@ func (n *Network) sendFlit(now int64, r *router, p Port, outVC int, f flit) {
 		}
 	}
 	n.stats.FlitHops++
-	n.inflight[arr] = append(n.inflight[arr], arrival{
+	slot := arr & n.arrMask
+	n.arrRing[slot] = append(n.arrRing[slot], arrival{
 		router: dest,
 		port:   p.opposite(),
 		vc:     outVC,
@@ -281,7 +400,8 @@ func (n *Network) eject(now int64, p *Packet, seq int) {
 	}
 }
 
-// deliver finalizes a packet: records statistics and runs the handler.
+// deliver finalizes a packet: records statistics, runs the handler, and
+// recycles pool-allocated packets.
 func (n *Network) deliver(now int64, p *Packet) {
 	p.EjectCycle = now
 	if p.Src == p.Dst {
@@ -308,22 +428,27 @@ func (n *Network) deliver(now int64, p *Packet) {
 	if n.onDeliver != nil {
 		n.onDeliver(p)
 	}
+	if p.pooled {
+		*p = Packet{pooled: true}
+		n.pool = append(n.pool, p)
+	}
 }
 
 // Busy reports whether any packet is queued, in a buffer, or on a link.
 // Pending credits also count: the network is not settled until every
-// buffer slot is accounted for.
+// buffer slot is accounted for. The worklists make this O(busy tiles)
+// rather than O(tiles).
 func (n *Network) Busy() bool {
 	if n.inFlight > 0 || n.nCred > 0 {
 		return true
 	}
-	for _, q := range n.nis {
-		if q.pending() > 0 {
+	for _, t := range n.activeNI {
+		if n.nis[t].pending() > 0 {
 			return true
 		}
 	}
-	for _, r := range n.routers {
-		if r.occupancy() > 0 {
+	for _, id := range n.activeR {
+		if n.routers[id].occ > 0 {
 			return true
 		}
 	}

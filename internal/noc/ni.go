@@ -9,10 +9,18 @@ import (
 // bypasses the source router pipeline (flits are immediately eligible
 // for switch allocation), which calibrates the uncontended end-to-end
 // latency to exactly hops*(router+link) — see the package comment.
+//
+// The queue pops by advancing a head index instead of shifting, and the
+// backing array is recycled whenever the queue fully drains, so
+// steady-state injection does not allocate or copy.
 type ni struct {
 	tile  mesh.Tile
 	n     *Network
 	queue []*Packet
+	qhead int
+	// queued reports whether this NI is on the network's active
+	// worklist (set on enqueue, cleared when the backlog drains).
+	queued bool
 	// cur is the packet currently being serialized into the router.
 	cur     *Packet
 	curFlit int
@@ -32,9 +40,14 @@ func newNI(tile mesh.Tile, n *Network) *ni {
 	return &ni{tile: tile, n: n, space: s, owned: make([]bool, vcs), curVC: -1}
 }
 
-// enqueue adds a packet to the injection queue.
+// enqueue adds a packet to the injection queue, putting the NI on the
+// active worklist if idle.
 func (q *ni) enqueue(p *Packet) {
 	q.queue = append(q.queue, p)
+	if !q.queued {
+		q.queued = true
+		q.n.markNIActive(int32(q.tile))
+	}
 }
 
 // creditReturn is called by the local router when it drains a flit from
@@ -51,10 +64,10 @@ func (q *ni) vcFree(v int) bool {
 // inject writes up to one flit into the local router this cycle.
 func (q *ni) inject(now int64) {
 	if q.cur == nil {
-		if len(q.queue) == 0 {
+		if q.qhead == len(q.queue) {
 			return
 		}
-		head := q.queue[0]
+		head := q.queue[q.qhead]
 		lo, hi := q.n.cfg.vcRange(head.Type.Class())
 		vc := -1
 		for v := lo; v < hi; v++ {
@@ -66,8 +79,12 @@ func (q *ni) inject(now int64) {
 		if vc < 0 {
 			return // all local VCs of this class busy
 		}
-		copy(q.queue, q.queue[1:])
-		q.queue = q.queue[:len(q.queue)-1]
+		q.queue[q.qhead] = nil
+		q.qhead++
+		if q.qhead == len(q.queue) {
+			q.queue = q.queue[:0]
+			q.qhead = 0
+		}
 		q.cur = head
 		q.curFlit = 0
 		q.curVC = vc
@@ -89,7 +106,7 @@ func (q *ni) inject(now int64) {
 
 // pending returns the number of packets not yet fully injected.
 func (q *ni) pending() int {
-	n := len(q.queue)
+	n := len(q.queue) - q.qhead
 	if q.cur != nil {
 		n++
 	}

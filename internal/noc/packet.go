@@ -103,6 +103,9 @@ type Packet struct {
 	// (0 before crossing the ring's dateline, 1 after).
 	curDim int8
 	layer  int8
+	// pooled marks packets handed out by Network.AllocPacket; they are
+	// recycled onto the free list as soon as delivery completes.
+	pooled bool
 }
 
 // Latency returns the packet's measured network latency in cycles.

@@ -1,12 +1,19 @@
 package noc
 
 import (
+	"math/bits"
+
 	"obm/internal/mesh"
 )
 
 // vcBuffer is one virtual-channel input buffer and its wormhole state.
+// The flit queue is a fixed-capacity circular buffer sized by
+// Config.BufDepth (credit flow control guarantees it never overflows),
+// so steady-state push/pop never allocates, shifts, or grows.
 type vcBuffer struct {
-	buf []flit
+	buf  []flit
+	head int
+	n    int
 	// outPort is the routed output port of the packet currently flowing
 	// through this VC; -1 when idle.
 	outPort Port
@@ -17,21 +24,37 @@ type vcBuffer struct {
 	routed bool
 }
 
-func (v *vcBuffer) empty() bool { return len(v.buf) == 0 }
+func (v *vcBuffer) empty() bool { return v.n == 0 }
 
 func (v *vcBuffer) front() *flit {
-	if len(v.buf) == 0 {
+	if v.n == 0 {
 		return nil
 	}
-	return &v.buf[0]
+	return &v.buf[v.head]
+}
+
+func (v *vcBuffer) push(f flit) {
+	if v.n == len(v.buf) {
+		panic("noc: VC buffer overflow (credit accounting broken)")
+	}
+	i := v.head + v.n
+	if i >= len(v.buf) {
+		i -= len(v.buf)
+	}
+	v.buf[i] = f
+	v.n++
 }
 
 func (v *vcBuffer) pop() flit {
-	f := v.buf[0]
-	// Shift rather than reslice so the backing array does not grow
-	// unboundedly over a long simulation.
-	copy(v.buf, v.buf[1:])
-	v.buf = v.buf[:len(v.buf)-1]
+	f := v.buf[v.head]
+	// Drop the packet reference so the recycled slot cannot alias a
+	// pooled packet's next life.
+	v.buf[v.head].pkt = nil
+	v.head++
+	if v.head == len(v.buf) {
+		v.head = 0
+	}
+	v.n--
 	return f
 }
 
@@ -49,10 +72,27 @@ type router struct {
 	// the allocation scans skip empty ports.
 	occ     int
 	portOcc [numPorts]int
+	// occMask[p] has bit v set when input VC v of port p holds flits,
+	// letting gather enumerate occupied VCs with one bit-scan per VC
+	// instead of probing every buffer (Config.Validate caps VCs at 64).
+	occMask [numPorts]uint64
 	// cand is scratch space listing the occupied (port, vc) flattened
 	// indices, rebuilt once per cycle so the allocation stages scan only
 	// real work instead of every buffer.
 	cand []int
+	// outReq[p] counts candidate VCs routed toward output port p this
+	// cycle and vaNeed[p] flags ports where some ready head still lacks
+	// a downstream VC — both rebuilt by routeHeads so the allocation and
+	// arbitration stages skip ports nobody is requesting (at paper-scale
+	// loads a busy router usually feeds exactly one output).
+	outReq [numPorts]uint8
+	vaNeed [numPorts]bool
+	// vcs and total cache cfg.VCs() and numPorts*vcs.
+	vcs, total int
+	// queued reports whether this router is on the network's active
+	// worklist (set on the first accepted flit, cleared when the
+	// worklist compaction sees occ == 0).
+	queued bool
 	// credits[p][v] is the number of free slots in neighbour(p)'s input
 	// VC v (the port facing us). Meaningless for Local.
 	credits [numPorts][]int
@@ -124,9 +164,12 @@ func (r *router) allowedVCs(p Port, pkt *Packet) (lo, hi int) {
 func newRouter(id mesh.Tile, n *Network) *router {
 	r := &router{id: id, n: n}
 	vcs := n.cfg.VCs()
+	r.vcs = vcs
+	r.total = int(numPorts) * vcs
 	for p := Port(0); p < numPorts; p++ {
 		r.in[p] = make([]vcBuffer, vcs)
 		for v := range r.in[p] {
+			r.in[p][v].buf = make([]flit, n.cfg.BufDepth)
 			r.in[p][v].outPort = -1
 			r.in[p][v].outVC = -1
 		}
@@ -140,11 +183,16 @@ func newRouter(id mesh.Tile, n *Network) *router {
 }
 
 // accept places a flit arriving over a link (or from the NI) into input
-// VC (port, vc).
+// VC (port, vc), putting the router on the active worklist if idle.
 func (r *router) accept(p Port, vc int, f flit) {
-	r.in[p][vc].buf = append(r.in[p][vc].buf, f)
+	r.in[p][vc].push(f)
 	r.occ++
 	r.portOcc[p]++
+	r.occMask[p] |= 1 << uint(vc)
+	if !r.queued {
+		r.queued = true
+		r.n.markRouterActive(int32(r.id))
+	}
 }
 
 // vcFree reports whether downstream VC v on output port p can be
@@ -154,18 +202,36 @@ func (r *router) vcFree(p Port, v int) bool {
 	return !r.owned[p][v] && r.credits[p][v] == r.n.cfg.BufDepth
 }
 
-// gather rebuilds the occupied-VC candidate list for this cycle.
-func (r *router) gather() {
+// gather rebuilds the occupied-VC candidate list for this cycle by
+// scanning the occupancy bitmasks, routes any newly exposed heads (the
+// look-ahead route step), and rebuilds the per-output demand counters
+// the allocation and arbitration stages use to skip idle ports.
+func (r *router) gather(now int64) {
 	r.cand = r.cand[:0]
-	vcs := r.n.cfg.VCs()
+	r.outReq = [numPorts]uint8{}
+	r.vaNeed = [numPorts]bool{}
 	for p := Port(0); p < numPorts; p++ {
-		if r.portOcc[p] == 0 {
+		occ := r.occMask[p]
+		if occ == 0 {
 			continue
 		}
-		base := int(p) * vcs
-		for v := range r.in[p] {
-			if len(r.in[p][v].buf) > 0 {
-				r.cand = append(r.cand, base+v)
+		base := int(p) * r.vcs
+		for occ != 0 {
+			v := bits.TrailingZeros64(occ)
+			occ &= occ - 1
+			r.cand = append(r.cand, base+v)
+			b := &r.in[p][v]
+			f := b.front()
+			if !b.routed {
+				if !f.isHead() {
+					continue
+				}
+				b.outPort = r.n.cfg.route(r.n.mesh, r.id, f.pkt.Dst)
+				b.routed = true
+			}
+			r.outReq[b.outPort]++
+			if b.outVC < 0 && b.outPort != Local && f.isHead() && f.ready <= now {
+				r.vaNeed[b.outPort] = true
 			}
 		}
 	}
@@ -188,17 +254,16 @@ func rotatedScan(cand []int, start int, f func(idx int) (done bool)) {
 }
 
 // allocateVCs performs VC allocation for head flits that are routed but
-// lack a downstream VC; round-robin over requesting input VCs.
+// lack a downstream VC; round-robin over requesting input VCs. Ports
+// with no pending request (vaNeed, set by routeHeads) are skipped.
 func (r *router) allocateVCs(now int64) {
-	vcs := r.n.cfg.VCs()
-	total := int(numPorts) * vcs
 	for p := Port(1); p < numPorts; p++ { // Local needs no VC
-		if r.neighbors[p] == nil {
+		if !r.vaNeed[p] || r.neighbors[p] == nil {
 			continue
 		}
 		rotatedScan(r.cand, r.vaPtr[p], func(idx int) bool {
-			inPort := Port(idx / vcs)
-			inVC := idx % vcs
+			inPort := Port(idx / r.vcs)
+			inVC := idx % r.vcs
 			b := &r.in[inPort][inVC]
 			f := b.front()
 			if f == nil || !f.isHead() || f.ready > now || !b.routed || b.outPort != p || b.outVC >= 0 {
@@ -209,7 +274,7 @@ func (r *router) allocateVCs(now int64) {
 				if r.vcFree(p, v) {
 					b.outVC = v
 					r.owned[p][v] = true
-					r.vaPtr[p] = (idx + 1) % total
+					r.vaPtr[p] = (idx + 1) % r.total
 					break
 				}
 			}
@@ -218,34 +283,20 @@ func (r *router) allocateVCs(now int64) {
 	}
 }
 
-// routeHeads computes the output port for head flits at the front of
-// their VC that have not been routed yet (the look-ahead route step).
-func (r *router) routeHeads() {
-	vcs := r.n.cfg.VCs()
-	for _, idx := range r.cand {
-		b := &r.in[Port(idx/vcs)][idx%vcs]
-		f := b.front()
-		if f == nil || !f.isHead() || b.routed {
-			continue
-		}
-		b.outPort = r.n.cfg.route(r.n.mesh, r.id, f.pkt.Dst)
-		b.routed = true
-	}
-}
-
 // arbitrate performs switch allocation and traversal for one output
 // port: at most one flit crosses per output per cycle and at most one
 // leaves each input port (crossbar constraint). inputUsed is shared
 // across the router's output ports for the cycle.
 func (r *router) arbitrate(now int64, p Port, inputUsed *[numPorts]bool) {
-	vcs := r.n.cfg.VCs()
-	total := int(numPorts) * vcs
+	if r.outReq[p] == 0 {
+		return // nobody routed toward this output this cycle
+	}
 	rotatedScan(r.cand, r.saPtr[p], func(idx int) bool {
-		inPort := Port(idx / vcs)
+		inPort := Port(idx / r.vcs)
 		if inputUsed[inPort] {
 			return false
 		}
-		inVC := idx % vcs
+		inVC := idx % r.vcs
 		b := &r.in[inPort][inVC]
 		f := b.front()
 		if f == nil || f.ready > now || !b.routed || b.outPort != p {
@@ -256,7 +307,7 @@ func (r *router) arbitrate(now int64, p Port, inputUsed *[numPorts]bool) {
 			// flit by value; the front pointer is invalidated by the pop.
 			granted := r.dequeue(inPort, inVC)
 			inputUsed[inPort] = true
-			r.saPtr[p] = (idx + 1) % total
+			r.saPtr[p] = (idx + 1) % r.total
 			r.n.eject(now, granted.pkt, granted.seq)
 			return true
 		}
@@ -266,7 +317,7 @@ func (r *router) arbitrate(now int64, p Port, inputUsed *[numPorts]bool) {
 		outVC := b.outVC
 		granted := r.dequeue(inPort, inVC)
 		inputUsed[inPort] = true
-		r.saPtr[p] = (idx + 1) % total
+		r.saPtr[p] = (idx + 1) % r.total
 		r.credits[p][outVC]--
 		if granted.isTail() {
 			r.owned[p][outVC] = false
@@ -284,6 +335,9 @@ func (r *router) dequeue(p Port, vc int) flit {
 	f := b.pop()
 	r.occ--
 	r.portOcc[p]--
+	if b.n == 0 {
+		r.occMask[p] &^= 1 << uint(vc)
+	}
 	if p != Local {
 		if up := r.neighbors[p]; up != nil {
 			r.n.returnCredit(up, p.opposite(), vc)

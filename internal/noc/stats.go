@@ -150,8 +150,12 @@ func (s *Stats) AppAPL(app int) float64 {
 // Histogram is a fixed-bucket latency histogram: one bucket per cycle
 // up to maxBucket-1, with a final overflow bucket. It supports the
 // tail-latency experiments (QoS is about P99, not just the mean).
+//
+// Bucket storage is a lazily allocated slice, so value copies of a
+// Histogram share it; use Clone for an independent snapshot
+// (Network.Stats does this for every row of HistByApp).
 type Histogram struct {
-	buckets [maxBucket + 1]int64
+	buckets []int64
 	count   int64
 	sum     int64
 }
@@ -161,6 +165,9 @@ const maxBucket = 512
 
 // Add records one latency sample.
 func (h *Histogram) Add(v int64) {
+	if h.buckets == nil {
+		h.buckets = make([]int64, maxBucket+1)
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -170,6 +177,14 @@ func (h *Histogram) Add(v int64) {
 	h.buckets[v]++
 	h.count++
 	h.sum += v
+}
+
+// Clone returns a deep copy whose bucket storage is independent of the
+// live histogram.
+func (h Histogram) Clone() Histogram {
+	c := h
+	c.buckets = append([]int64(nil), h.buckets...)
+	return c
 }
 
 // Count returns the number of samples.

@@ -127,48 +127,68 @@ func DefaultSweepConfig() SweepConfig {
 }
 
 // LoadSweep measures average latency and throughput across offered
-// loads for a traffic pattern on a fresh network per point.
+// loads for a traffic pattern on a fresh network per point. Each point
+// is an independent MeasureLoadPoint call, so callers that want the
+// sweep faster can fan the points out themselves (see the loadsweep
+// experiment, which shards points over sim.RunReplicas).
 func LoadSweep(cfg Config, pat Pattern, sw SweepConfig) ([]LoadPoint, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(sw.Rates) == 0 || sw.Cycles <= 0 {
+	if len(sw.Rates) == 0 {
 		return nil, fmt.Errorf("noc: sweep needs rates and a positive window")
-	}
-	if sw.DrainCycles <= 0 {
-		sw.DrainCycles = 200_000
 	}
 	var out []LoadPoint
 	for _, rate := range sw.Rates {
-		n, err := New(cfg)
+		pt, err := MeasureLoadPoint(cfg, pat, rate, sw)
 		if err != nil {
 			return nil, err
-		}
-		m := n.Mesh()
-		rng := stats.NewRand(sw.Seed)
-		for cyc := int64(0); cyc < sw.Cycles; cyc++ {
-			for _, src := range m.Tiles() {
-				if rng.Float64() < rate {
-					dst := pat.Dst(m, src, rng)
-					if err := n.Inject(&Packet{Src: src, Dst: dst, Type: sw.Type, App: 0}); err != nil {
-						return nil, err
-					}
-				}
-			}
-			n.Step()
-		}
-		pt := LoadPoint{InjectionRate: rate}
-		if err := n.Drain(sw.DrainCycles); err != nil {
-			pt.Saturated = true
-		}
-		st := n.Stats()
-		pt.AvgLatency = st.AvgLatency()
-		if st.Cycles > 0 {
-			pt.Throughput = float64(st.DeliveredPackets) / float64(st.Cycles) / float64(m.NumTiles())
 		}
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// MeasureLoadPoint measures one (pattern, offered-load) point on a
+// fresh seeded network: sw.Cycles of Bernoulli injection at the given
+// per-tile rate, then a bounded drain. Every point of a sweep is
+// independent and deterministic in (cfg, pat, rate, sw), which is what
+// lets experiments spread the points across workers.
+func MeasureLoadPoint(cfg Config, pat Pattern, rate float64, sw SweepConfig) (LoadPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return LoadPoint{}, err
+	}
+	if sw.Cycles <= 0 {
+		return LoadPoint{}, fmt.Errorf("noc: sweep needs rates and a positive window")
+	}
+	if sw.DrainCycles <= 0 {
+		sw.DrainCycles = 200_000
+	}
+	n, err := New(cfg)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	m := n.Mesh()
+	rng := stats.NewRand(sw.Seed)
+	for cyc := int64(0); cyc < sw.Cycles; cyc++ {
+		for _, src := range m.Tiles() {
+			if rng.Float64() < rate {
+				pkt := n.AllocPacket()
+				pkt.Src, pkt.Dst, pkt.Type = src, pat.Dst(m, src, rng), sw.Type
+				if err := n.Inject(pkt); err != nil {
+					return LoadPoint{}, err
+				}
+			}
+		}
+		n.Step()
+	}
+	pt := LoadPoint{InjectionRate: rate}
+	if err := n.Drain(sw.DrainCycles); err != nil {
+		pt.Saturated = true
+	}
+	st := n.Stats()
+	pt.AvgLatency = st.AvgLatency()
+	if st.Cycles > 0 {
+		pt.Throughput = float64(st.DeliveredPackets) / float64(st.Cycles) / float64(m.NumTiles())
+	}
+	return pt, nil
 }
 
 // ZeroLoadLatency returns the analytic zero-load average latency of a

@@ -157,12 +157,14 @@ func RateDriven(p *core.Problem, m core.Mapping, cfg RateDrivenConfig) (Result, 
 		switch pkt.Type {
 		case noc.CacheRequest:
 			at := net.Cycle() + int64(ccfg.L2Latency)
-			reply := &noc.Packet{Src: pkt.Dst, Dst: pkt.Src, Type: noc.CacheReply, App: pkt.App}
+			reply := net.AllocPacket()
+			reply.Src, reply.Dst, reply.Type, reply.App = pkt.Dst, pkt.Src, noc.CacheReply, pkt.App
 			replies[at] = append(replies[at], pendingReply{at, reply})
 		case noc.MemRequest:
 			mc := mcs[pkt.Dst]
 			at := mc.Submit(net.Cycle())
-			reply := &noc.Packet{Src: pkt.Dst, Dst: pkt.Src, Type: noc.MemReply, App: pkt.App}
+			reply := net.AllocPacket()
+			reply.Src, reply.Dst, reply.Type, reply.App = pkt.Dst, pkt.Src, noc.MemReply, pkt.App
 			replies[at] = append(replies[at], pendingReply{at, reply})
 		}
 	})
@@ -234,15 +236,19 @@ func RateDriven(p *core.Problem, m core.Mapping, cfg RateDrivenConfig) (Result, 
 			}
 			src := p.TileOfSlot(m[j])
 			if pc[j] > 0 && rng.Float64() < pc[j] {
-				dst := mesh.Tile(rng.Intn(msh.NumTiles())) // uniform bank hash
-				pkt := &noc.Packet{Src: src, Dst: dst, Type: noc.CacheRequest, App: p.AppOfThread(j)}
+				pkt := net.AllocPacket() // recycled after delivery; nothing retains it
+				pkt.Src = src
+				pkt.Dst = mesh.Tile(rng.Intn(msh.NumTiles())) // uniform bank hash
+				pkt.Type, pkt.App = noc.CacheRequest, p.AppOfThread(j)
 				if err := net.Inject(pkt); err != nil {
 					return Result{}, err
 				}
 			}
 			if pm[j] > 0 && rng.Float64() < pm[j] {
-				dst, _ := placement.Nearest(msh, src)
-				pkt := &noc.Packet{Src: src, Dst: dst, Type: noc.MemRequest, App: p.AppOfThread(j)}
+				pkt := net.AllocPacket()
+				pkt.Src = src
+				pkt.Dst, _ = placement.Nearest(msh, src)
+				pkt.Type, pkt.App = noc.MemRequest, p.AppOfThread(j)
 				if err := net.Inject(pkt); err != nil {
 					return Result{}, err
 				}
