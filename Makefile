@@ -23,7 +23,7 @@ bench-json:
 # Everything CI gates on: vet, build, the full test suite, and the race
 # detector over the packages that fan work out across goroutines.
 check: vet build test
-	go test -race ./internal/experiments/... ./internal/mapping/... ./internal/sim/...
+	go test -race ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/sim/...
 
 vet:
 	go vet ./...

@@ -10,6 +10,7 @@
 package obm_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -217,7 +218,7 @@ func mustRun(b *testing.B, id string) (experiments.Result, error) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return r.Run(benchOpts())
+	return r.Run(context.Background(), benchOpts())
 }
 
 // seriesRedux returns the percentage reduction of SSS's average vs
@@ -263,7 +264,7 @@ func BenchmarkAblationSwap(b *testing.B) {
 			p := paperProblem(b, "C1")
 			var obj float64
 			for i := 0; i < b.N; i++ {
-				mp, err := m.Map(p)
+				mp, err := m.Map(context.Background(), p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -283,7 +284,7 @@ func BenchmarkAblationSelect(b *testing.B) {
 			m := mapping.SortSelectSwap{Select: sel, Seed: 9}
 			var obj float64
 			for i := 0; i < b.N; i++ {
-				mp, err := m.Map(p)
+				mp, err := m.Map(context.Background(), p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -305,7 +306,7 @@ func BenchmarkAblationFinalSAM(b *testing.B) {
 			p := paperProblem(b, "C5")
 			var obj float64
 			for i := 0; i < b.N; i++ {
-				mp, err := m.Map(p)
+				mp, err := m.Map(context.Background(), p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -325,7 +326,7 @@ func BenchmarkAblationSACooling(b *testing.B) {
 			m := mapping.Annealing{Iters: 18_000, Cooling: cooling, Seed: 3}
 			var obj float64
 			for i := 0; i < b.N; i++ {
-				mp, err := m.Map(p)
+				mp, err := m.Map(context.Background(), p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -344,7 +345,7 @@ func BenchmarkSSSMap(b *testing.B) {
 	m := mapping.SortSelectSwap{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Map(p); err != nil {
+		if _, err := m.Map(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -356,7 +357,7 @@ func BenchmarkGlobalMap(b *testing.B) {
 	m := mapping.Global{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Map(p); err != nil {
+		if _, err := m.Map(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -479,7 +480,7 @@ func BenchmarkNoCLoadSweep(b *testing.B) {
 // Figure 11, per simulated kilocycle.
 func BenchmarkRateDrivenSim(b *testing.B) {
 	p := paperProblem(b, "C1")
-	mp, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	mp, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -487,7 +488,7 @@ func BenchmarkRateDrivenSim(b *testing.B) {
 	cfg.MeasureCycles = 10_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RateDriven(p, mp, cfg); err != nil {
+		if _, err := sim.RateDriven(context.Background(), p, mp, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -542,7 +543,7 @@ func BenchmarkSSSMultiPass(b *testing.B) {
 	m := mapping.SortSelectSwap{Passes: 5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Map(p); err != nil {
+		if _, err := m.Map(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -569,7 +570,7 @@ func BenchmarkMonteCarloParallel(b *testing.B) {
 			m := mapping.MonteCarlo{Samples: 10_000, Seed: 1, Workers: workers}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Map(p); err != nil {
+				if _, err := m.Map(context.Background(), p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -581,7 +582,7 @@ func BenchmarkMonteCarloParallel(b *testing.B) {
 // 10k cycles.
 func BenchmarkCacheDrivenSim(b *testing.B) {
 	p := paperProblem(b, "C1")
-	mp, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	mp, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -589,7 +590,7 @@ func BenchmarkCacheDrivenSim(b *testing.B) {
 	cfg.Cycles = 10_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.CacheDriven(p, mp, cfg); err != nil {
+		if _, err := sim.CacheDriven(context.Background(), p, mp, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -614,7 +615,7 @@ func BenchmarkExactSolve12(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (mapping.Exact{}).Map(p); err != nil {
+		if _, err := (mapping.Exact{}).Map(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -642,7 +643,7 @@ func BenchmarkImproveWithBudget(b *testing.B) {
 	base := core.IdentityMapping(p.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := mapping.ImproveWithBudget(p, base, 16); err != nil {
+		if _, _, err := mapping.ImproveWithBudget(context.Background(), p, base, 16); err != nil {
 			b.Fatal(err)
 		}
 	}

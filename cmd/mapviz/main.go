@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -129,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mapviz:", err)
 			return 2
 		}
-		mp, err := mapping.MapAndCheck(m, p)
+		mp, err := mapping.MapAndCheck(context.Background(), m, p)
 		if err != nil {
 			fmt.Fprintln(stderr, "mapviz:", err)
 			return 1

@@ -7,39 +7,80 @@
 //	obmsim -list                  # show available experiments
 //	obmsim -exp fig9 -configs C1,C2 -quick -csv out.csv
 //	obmsim -exp fig3,fig9 -svgdir figs   # also write SVG figures
+//	obmsim -exp all -timeout 2m -progress # bounded run with a stderr ticker
 //
 // Each experiment prints a paper-style table or grid; -csv additionally
-// writes machine-readable output.
+// writes machine-readable output. The whole run is cancellable: SIGINT
+// or SIGTERM (or -timeout expiry) stops the in-flight experiment
+// promptly, keeps everything already printed, and exits non-zero with a
+// note on how far the batch got.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"obm/internal/engine"
 	"obm/internal/experiments"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run executes the tool; factored out of main so the tests can drive it.
-func run(args []string, stdout, stderr io.Writer) int {
+// progressSink prints throttled one-line progress events. Reporters
+// below already throttle per stage, but several stages report
+// concurrently (parallel configs, replica workers), so the sink applies
+// its own global spacing to keep stderr readable.
+type progressSink struct {
+	w io.Writer
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+func (s *progressSink) Event(p engine.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if now.Sub(s.last) < 250*time.Millisecond {
+		return
+	}
+	s.last = now
+	if p.Total > 0 {
+		fmt.Fprintf(s.w, "progress: %s %d/%d (%v)\n", p.Stage, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(s.w, "progress: %s %d (%v)\n", p.Stage, p.Done, p.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// run executes the tool; factored out of main so the tests can drive it
+// with their own context and buffers.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("obmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "", "experiment ID (see -list), or 'all'")
-		list    = fs.Bool("list", false, "list available experiments")
-		quick   = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
-		seed    = fs.Uint64("seed", 1, "base random seed")
-		configs = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
-		csvPath = fs.String("csv", "", "also write CSV output to this file")
-		svgDir  = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
+		exp      = fs.String("exp", "", "experiment ID (see -list), or 'all'")
+		list     = fs.Bool("list", false, "list available experiments")
+		quick    = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		configs  = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
+		csvPath  = fs.String("csv", "", "also write CSV output to this file")
+		svgDir   = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
+		progress = fs.Bool("progress", false, "print throttled progress events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *configs != "" {
 		opts.Configs = strings.Split(*configs, ",")
 	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(stderr, "obmsim:", err)
+		return 2
+	}
 
 	var runners []experiments.Runner
 	if *exp == "all" {
@@ -76,45 +121,89 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var csv strings.Builder
+	jobs := make([]engine.Job, len(runners))
+	titles := make(map[string]string, len(runners))
 	for i, r := range runners {
-		if i > 0 {
-			fmt.Fprintln(stdout)
-		}
-		start := time.Now()
-		res, err := r.Run(opts)
-		if err != nil {
-			fmt.Fprintf(stderr, "obmsim: %s: %v\n", r.ID(), err)
-			return 1
-		}
-		fmt.Fprint(stdout, res.Render())
-		fmt.Fprintf(stdout, "[%s in %v]\n", r.ID(), time.Since(start).Round(time.Millisecond))
-		if *csvPath != "" {
-			fmt.Fprintf(&csv, "# %s: %s\n%s", r.ID(), r.Title(), res.CSV())
-		}
-		if *svgDir != "" {
-			if fig, ok := res.(experiments.Figurer); ok {
-				if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-					fmt.Fprintln(stderr, "obmsim:", err)
-					return 1
-				}
-				for stem, svg := range fig.SVGFigures() {
-					path := filepath.Join(*svgDir, stem+".svg")
-					if err := os.WriteFile(path, svg, 0o644); err != nil {
-						fmt.Fprintln(stderr, "obmsim:", err)
-						return 1
-					}
-					fmt.Fprintf(stdout, "wrote %s\n", path)
-				}
-			}
+		r := r
+		titles[r.ID()] = r.Title()
+		jobs[i] = engine.Job{
+			Name: r.ID(),
+			Run:  func(ctx context.Context) (any, error) { return r.Run(ctx, opts) },
 		}
 	}
-	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
-			fmt.Fprintln(stderr, "obmsim: writing csv:", err)
+
+	// OnResult streams each experiment's output as soon as it finishes,
+	// so an interrupted batch still shows everything that completed.
+	var csv strings.Builder
+	printed := 0
+	var writeErr error
+	eng := engine.Runner{
+		Timeout: *timeout,
+		OnResult: func(res engine.Result) {
+			if res.Err != nil || writeErr != nil {
+				return
+			}
+			if printed > 0 {
+				fmt.Fprintln(stdout)
+			}
+			printed++
+			r := res.Value.(experiments.Result)
+			fmt.Fprint(stdout, r.Render())
+			fmt.Fprintf(stdout, "[%s in %v]\n", res.Name, res.Elapsed.Round(time.Millisecond))
+			if *csvPath != "" {
+				fmt.Fprintf(&csv, "# %s: %s\n%s", res.Name, titles[res.Name], r.CSV())
+			}
+			if *svgDir != "" {
+				if fig, ok := r.(experiments.Figurer); ok {
+					writeErr = writeSVGs(stdout, *svgDir, fig)
+				}
+			}
+		},
+	}
+	if *progress {
+		eng.Sink = &progressSink{w: stderr}
+	}
+
+	results, err := eng.Run(ctx, jobs)
+	if *csvPath != "" && csv.Len() > 0 {
+		if werr := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); werr != nil {
+			fmt.Fprintln(stderr, "obmsim: writing csv:", werr)
 			return 1
 		}
 		fmt.Fprintf(stdout, "CSV written to %s\n", *csvPath)
 	}
+	if writeErr != nil {
+		fmt.Fprintln(stderr, "obmsim:", writeErr)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "obmsim: %v\n", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			done := 0
+			for _, r := range results {
+				if r.Err == nil {
+					done++
+				}
+			}
+			fmt.Fprintf(stderr, "obmsim: interrupted; %d/%d experiments completed (partial results above)\n",
+				done, len(jobs))
+		}
+		return 1
+	}
 	return 0
+}
+
+// writeSVGs writes every figure of fig into dir.
+func writeSVGs(stdout io.Writer, dir string, fig experiments.Figurer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for stem, svg := range fig.SVGFigures() {
+		path := filepath.Join(dir, stem+".svg")
+		if err := os.WriteFile(path, svg, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	return nil
 }

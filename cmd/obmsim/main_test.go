@@ -2,15 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
 	for _, want := range []string{"table1", "fig9", "validate", "gap", "topology"} {
@@ -25,7 +28,7 @@ func TestRunFig5WithCSVAndSVG(t *testing.T) {
 	csv := filepath.Join(dir, "out.csv")
 	svg := filepath.Join(dir, "figs")
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-exp", "fig5,fig3", "-quick", "-csv", csv, "-svgdir", svg}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-exp", "fig5,fig3", "-quick", "-csv", csv, "-svgdir", svg}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
@@ -47,7 +50,7 @@ func TestRunFig5WithCSVAndSVG(t *testing.T) {
 
 func TestRunWithConfigSubset(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-exp", "fig9", "-quick", "-configs", "C1,C2"}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-exp", "fig9", "-quick", "-configs", "C1,C2"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
@@ -62,13 +65,98 @@ func TestRunWithConfigSubset(t *testing.T) {
 
 func TestBadUsage(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code == 0 {
+	ctx := context.Background()
+	if code := run(ctx, nil, &stdout, &stderr); code == 0 {
 		t.Error("missing -exp accepted")
 	}
-	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code == 0 {
+	if code := run(ctx, []string{"-exp", "nope"}, &stdout, &stderr); code == 0 {
 		t.Error("unknown experiment accepted")
 	}
-	if code := run([]string{"-badflag"}, &stdout, &stderr); code == 0 {
+	if code := run(ctx, []string{"-badflag"}, &stdout, &stderr); code == 0 {
 		t.Error("bad flag accepted")
+	}
+	if code := run(ctx, []string{"-exp", "fig9", "-timeout", "banana"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed -timeout: exit %d, want 2", code)
+	}
+}
+
+func TestUnknownConfigFailsFast(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run(context.Background(), []string{"-exp", "fig9", "-configs", "C1,C99"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "C99") || !strings.Contains(stderr.String(), "valid") {
+		t.Errorf("error should name the bad config and list valid ones: %s", stderr.String())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("validation took %v; should fail before any work runs", elapsed)
+	}
+}
+
+// TestTimeoutKeepsPartialResults runs two experiments under a budget
+// only the first can meet: the cheap fig5 output must survive, the exit
+// code must be non-zero, and stderr must note the interruption.
+func TestTimeoutKeepsPartialResults(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// fig5 is analytic (milliseconds); fig11 in non-quick mode runs
+	// flit-level simulations on four configs and cannot finish in 2s.
+	code := run(context.Background(), []string{"-exp", "fig5,fig11", "-timeout", "2s"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("timeout run exited 0")
+	}
+	if !strings.Contains(stdout.String(), "10.3375") {
+		t.Error("completed fig5 output missing from partial results")
+	}
+	if !strings.Contains(stderr.String(), "interrupted") || !strings.Contains(stderr.String(), "partial results") {
+		t.Errorf("stderr missing partial-results note: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "1/2 experiments completed") {
+		t.Errorf("stderr should count completed experiments: %s", stderr.String())
+	}
+}
+
+// TestCancelStopsPromptlyWithoutLeaks cancels mid-experiment and checks
+// both that run returns quickly and that no worker goroutines are left
+// behind (counting check; the repo carries no leak-detection dep).
+func TestCancelStopsPromptlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run(ctx, []string{"-exp", "fig11"}, &stdout, &stderr)
+	elapsed := time.Since(start)
+	if code == 0 {
+		t.Error("cancelled run exited 0")
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("cancel took %v to unwind; want prompt exit", elapsed)
+	}
+	// Workers should drain quickly after cancellation; poll briefly
+	// before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
+}
+
+// TestProgressFlag checks the stderr ticker emits events during a run.
+func TestProgressFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "table1", "-quick", "-progress", "-configs", "C1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "progress:") {
+		t.Errorf("no progress events on stderr: %q", stderr.String())
 	}
 }

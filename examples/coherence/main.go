@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,14 +30,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mp, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	mp, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	cfg := sim.DefaultCacheDrivenConfig()
 	cfg.Cycles = 80_000
-	res, err := sim.CacheDriven(p, mp, cfg)
+	res, err := sim.CacheDriven(context.Background(), p, mp, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -64,13 +65,13 @@ func main() {
 			log.Fatal(err)
 		}
 		if static == nil {
-			static, err = mapping.MapAndCheck(mapping.Global{}, p)
+			static, err = mapping.MapAndCheck(context.Background(), mapping.Global{}, p)
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
 		start := time.Now()
-		remap, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+		remap, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,11 +36,11 @@ func main() {
 	msh := lm.Mesh()
 
 	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-		mp, err := mapping.MapAndCheck(m, p)
+		mp, err := mapping.MapAndCheck(context.Background(), m, p)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.RateDriven(p, mp, cfg)
+		res, err := sim.RateDriven(context.Background(), p, mp, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

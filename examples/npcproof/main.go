@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("set %v  (gamma = mean = %.3f)\n", set, inst.Gamma)
-		yes, a1, a2, err := npc.Decide(set)
+		yes, a1, a2, err := npc.Decide(context.Background(), set)
 		if err != nil {
 			log.Fatal(err)
 		}

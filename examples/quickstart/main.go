@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-		mp, err := mapping.MapAndCheck(m, p)
+		mp, err := mapping.MapAndCheck(context.Background(), m, p)
 		if err != nil {
 			log.Fatal(err)
 		}

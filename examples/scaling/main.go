@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,12 +44,12 @@ func main() {
 			log.Fatal(err)
 		}
 
-		gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+		gm, err := mapping.MapAndCheck(context.Background(), mapping.Global{}, p)
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+		sm, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,130 @@
+// Package engine is the cancellable execution substrate every
+// long-running layer of the repository runs on: the iterative mappers
+// (Monte Carlo, SA, cluster SA, SSS refinement), the experiment
+// runners, and the replica-sharded simulator all accept a
+// context.Context and consult this package for two services:
+//
+//   - cancellation and deadlines — callers cancel a context (or set a
+//     deadline) and every layer unwinds promptly, returning whatever
+//     partial results it has together with a ctx.Err()-wrapped error;
+//   - structured progress — a pluggable Sink carried in the context
+//     receives Progress events (stage, done/total, elapsed) so a CLI
+//     ticker, a log shipper, or a serving API can observe work in
+//     flight without the workers knowing who is watching.
+//
+// The design rule that keeps results reproducible: context plumbing
+// must never perturb an algorithm's random stream. Cancellation polls
+// and progress reports read the clock and the context only; a run that
+// is never cancelled produces bit-identical output to the pre-context
+// code path.
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Progress is one structured progress event for a named stage.
+type Progress struct {
+	// Stage names the unit of work, e.g. "MC(10000)", "fig9", or
+	// "replicas".
+	Stage string
+	// Done counts completed steps; Total is the known step count (0 when
+	// unknown or open-ended).
+	Done, Total int
+	// Elapsed is the time since the stage started.
+	Elapsed time.Duration
+}
+
+// Sink receives progress events. Implementations must be safe for
+// concurrent use: parallel chunks and replica workers report through
+// one sink.
+type Sink interface {
+	Event(Progress)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Progress)
+
+// Event implements Sink.
+func (f SinkFunc) Event(p Progress) { f(p) }
+
+// sinkKey carries the Sink through a context.
+type sinkKey struct{}
+
+// WithSink returns a context that carries s; workers down the call
+// chain report progress to it via StartStage. A nil sink returns ctx
+// unchanged.
+func WithSink(ctx context.Context, s Sink) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// SinkOf returns the sink carried by ctx, or nil if none.
+func SinkOf(ctx context.Context) Sink {
+	s, _ := ctx.Value(sinkKey{}).(Sink)
+	return s
+}
+
+// DefaultReportInterval is the minimum spacing between throttled
+// Reporter events. Tight loops may call Report every few hundred
+// iterations; the reporter forwards at most one event per interval
+// (plus the first and any Finish).
+const DefaultReportInterval = 100 * time.Millisecond
+
+// Reporter emits throttled Progress events for one stage. Obtain one
+// with StartStage; a nil *Reporter (no sink in the context) is a valid
+// receiver for which every method is a free no-op, so hot loops report
+// unconditionally.
+type Reporter struct {
+	sink  Sink
+	stage string
+	start time.Time
+
+	mu       sync.Mutex
+	last     time.Time
+	interval time.Duration
+}
+
+// StartStage returns a Reporter for stage drawing its sink from ctx,
+// or nil when the context carries no sink.
+func StartStage(ctx context.Context, stage string) *Reporter {
+	s := SinkOf(ctx)
+	if s == nil {
+		return nil
+	}
+	return &Reporter{sink: s, stage: stage, start: time.Now(), interval: DefaultReportInterval}
+}
+
+// Report emits a throttled progress event. The first call always
+// emits; later calls emit at most once per DefaultReportInterval.
+// Safe for concurrent use.
+func (r *Reporter) Report(done, total int) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if !r.last.IsZero() && now.Sub(r.last) < r.interval {
+		r.mu.Unlock()
+		return
+	}
+	r.last = now
+	r.mu.Unlock()
+	r.sink.Event(Progress{Stage: r.stage, Done: done, Total: total, Elapsed: now.Sub(r.start)})
+}
+
+// Finish emits a final unthrottled event marking the stage complete.
+func (r *Reporter) Finish(done, total int) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.last = now
+	r.mu.Unlock()
+	r.sink.Event(Progress{Stage: r.stage, Done: done, Total: total, Elapsed: now.Sub(r.start)})
+}

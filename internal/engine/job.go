@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Job is one named unit of cancellable work.
+type Job struct {
+	// Name identifies the job in results and progress events.
+	Name string
+	// Run executes the job. Implementations must honour ctx: poll
+	// cancellation in long loops and return a ctx.Err()-wrapped error
+	// when interrupted.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result records one finished (or failed) job.
+type Result struct {
+	// Name is the job's name.
+	Name string
+	// Value is what the job returned (may be nil on error).
+	Value any
+	// Err is the job's error, nil on success.
+	Err error
+	// Elapsed is the job's wall time.
+	Elapsed time.Duration
+}
+
+// Runner executes a batch of jobs sequentially under one context. It
+// is the engine's top-level entry point: cmd/obmsim runs every
+// requested experiment through it, and any future serving layer would
+// enqueue its work the same way.
+type Runner struct {
+	// Timeout bounds the whole batch; 0 means no deadline beyond the
+	// caller's context.
+	Timeout time.Duration
+	// Sink, when non-nil, is installed on the batch context (WithSink)
+	// so every layer below reports progress to it. The runner itself
+	// reports the batch stage ("batch": jobs completed / total).
+	Sink Sink
+	// OnResult, when non-nil, observes each job's Result as soon as it
+	// completes — successes and failures both — letting callers stream
+	// output while later jobs run.
+	OnResult func(Result)
+	// KeepGoing runs the remaining jobs after a job fails instead of
+	// stopping at the first error. Cancellation always stops the batch.
+	KeepGoing bool
+}
+
+// Run executes jobs in order and returns the results of every job that
+// ran. On cancellation (or deadline expiry) it stops promptly and
+// returns the completed prefix together with a ctx.Err()-wrapped
+// error, so callers keep partial results. Job failures are wrapped
+// with the job name; with KeepGoing they are joined, otherwise the
+// first failure stops the batch.
+func (r Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	if r.Sink != nil {
+		ctx = WithSink(ctx, r.Sink)
+	}
+	rep := StartStage(ctx, "batch")
+	results := make([]Result, 0, len(jobs))
+	var errs []error
+	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return results, fmt.Errorf("engine: batch interrupted after %d/%d jobs: %w", i, len(jobs), err)
+		}
+		start := time.Now()
+		v, err := j.Run(ctx)
+		res := Result{Name: j.Name, Value: v, Err: err, Elapsed: time.Since(start)}
+		results = append(results, res)
+		if r.OnResult != nil {
+			r.OnResult(res)
+		}
+		rep.Report(i+1, len(jobs))
+		if err != nil {
+			wrapped := fmt.Errorf("engine: job %s: %w", j.Name, err)
+			if ctx.Err() != nil {
+				// The job died of the batch deadline or a caller cancel;
+				// report how far the batch got.
+				return results, fmt.Errorf("engine: batch interrupted during job %d/%d: %w", i+1, len(jobs), err)
+			}
+			if !r.KeepGoing {
+				return results, wrapped
+			}
+			errs = append(errs, wrapped)
+		}
+	}
+	rep.Finish(len(jobs), len(jobs))
+	return results, errors.Join(errs...)
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,6 +31,25 @@ type Options struct {
 	// Configs restricts which of C1..C8 run; nil means the experiment's
 	// paper-default set.
 	Configs []string
+}
+
+// Validate fails fast on malformed options — in particular an unknown
+// configuration name, which would otherwise surface as a confusing
+// workload error deep inside a runner. Callers (cmd/obmsim, the
+// runners themselves via configsOrDefault) check it before doing any
+// work.
+func (o Options) Validate() error {
+	names := workload.ConfigNames()
+	valid := make(map[string]bool, len(names))
+	for _, n := range names {
+		valid[n] = true
+	}
+	for _, c := range o.Configs {
+		if !valid[c] {
+			return fmt.Errorf("experiments: unknown config %q (valid: %s)", c, strings.Join(names, ", "))
+		}
+	}
+	return nil
 }
 
 // RandomDraws returns the number of random mappings averaged for
@@ -85,8 +105,12 @@ type Runner interface {
 	ID() string
 	// Title describes the experiment.
 	Title() string
-	// Run executes it.
-	Run(o Options) (Result, error)
+	// Run executes it. ctx carries cancellation, a deadline, and
+	// optionally an engine progress sink; runners (and the mappers and
+	// simulations below them) poll it and return a ctx.Err()-wrapped
+	// error when interrupted. The context never influences results: an
+	// uncancelled run is bit-identical whatever ctx carries.
+	Run(ctx context.Context, o Options) (Result, error)
 }
 
 // registry holds all experiments keyed by ID.
@@ -141,12 +165,16 @@ func problemFor(cfg string) (*core.Problem, error) {
 	return core.NewProblem(paperModel(), w)
 }
 
-// configsOrDefault resolves the option's config list.
-func configsOrDefault(o Options, def []string) []string {
-	if len(o.Configs) > 0 {
-		return o.Configs
+// configsOrDefault resolves the option's config list, failing fast on
+// unknown configuration names.
+func configsOrDefault(o Options, def []string) ([]string, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
-	return def
+	if len(o.Configs) > 0 {
+		return o.Configs, nil
+	}
+	return def, nil
 }
 
 // standardMappers returns the paper's four comparison algorithms with
@@ -163,10 +191,16 @@ func standardMappers(o Options) []mapping.Mapper {
 // parallelConfigs runs fn once per configuration concurrently — each
 // builds its own Problem, so the fan-out is share-nothing — and joins
 // any errors. Callers write results into per-index slots, keeping the
-// output identical to the serial loop.
-func parallelConfigs(cfgs []string, fn func(ci int, cfg string) error) error {
+// output identical to the serial loop. fn closures are expected to
+// poll ctx (via the mappers and simulations they call); when the
+// context fires, the joined error includes its ctx.Err() so callers
+// see the batch was interrupted rather than individually failed.
+func parallelConfigs(ctx context.Context, cfgs []string, fn func(ci int, cfg string) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("experiments: interrupted before configs ran: %w", err)
+	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(cfgs))
+	errs := make([]error, len(cfgs), len(cfgs)+1)
 	for ci, cfg := range cfgs {
 		wg.Add(1)
 		go func(ci int, cfg string) {
@@ -175,6 +209,9 @@ func parallelConfigs(cfgs []string, fn func(ci int, cfg string) error) error {
 		}(ci, cfg)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("experiments: config batch interrupted: %w", err))
+	}
 	return errors.Join(errs...)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID(), func(t *testing.T) {
-			res, err := r.Run(quickOpts())
+			res, err := r.Run(context.Background(), quickOpts())
 			if err != nil {
 				t.Fatalf("%s: %v", r.ID(), err)
 			}
@@ -66,7 +67,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 
 // TestTable1Shape pins the paper's Table 1 directional claims.
 func TestTable1Shape(t *testing.T) {
-	res, err := table1{}.Run(quickOpts())
+	res, err := table1{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTable1Shape(t *testing.T) {
 // TestTable4Shape pins the Table 4 ordering: SSS has the smallest
 // average dev-APL, Global the largest.
 func TestTable4Shape(t *testing.T) {
-	res, err := table4{}.Run(quickOpts())
+	res, err := table4{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestTable4Shape(t *testing.T) {
 // TestFig9Shape: SSS's average max-APL beats Global's by a margin in
 // the paper's neighbourhood (paper: 10.42%).
 func TestFig9Shape(t *testing.T) {
-	res, err := fig9{}.Run(quickOpts())
+	res, err := fig9{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFig9Shape(t *testing.T) {
 
 // TestFig10Shape: SSS g-APL overhead vs Global stays under 8%.
 func TestFig10Shape(t *testing.T) {
-	res, err := fig10{}.Run(quickOpts())
+	res, err := fig10{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestFig11Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulates the NoC; skip under -short")
 	}
-	res, err := fig11{}.Run(quickOpts())
+	res, err := fig11{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestFig11Shape(t *testing.T) {
 // TestFig12Shape: SA quality improves with budget, and at 0.1x SSS
 // runtime SA is clearly worse than SSS.
 func TestFig12Shape(t *testing.T) {
-	res, err := fig12{}.Run(quickOpts())
+	res, err := fig12{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestFig12Shape(t *testing.T) {
 
 // TestFig5PinsPaperNumbers verifies the worked example digit-for-digit.
 func TestFig5PinsPaperNumbers(t *testing.T) {
-	res, err := fig5{}.Run(quickOpts())
+	res, err := fig5{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFig5PinsPaperNumbers(t *testing.T) {
 }
 
 func TestTable3Close(t *testing.T) {
-	res, err := table3{}.Run(quickOpts())
+	res, err := table3{}.Run(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

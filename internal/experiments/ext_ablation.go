@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,8 +35,11 @@ type AblationResult struct {
 	Rows []AblationRow
 }
 
-func (a extAblation) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (a extAblation) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	variants := []mapping.Mapper{
 		mapping.SortSelectSwap{},
 		mapping.SortSelectSwap{DisableSwap: true},
@@ -59,7 +63,7 @@ func (a extAblation) Run(o Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -35,7 +36,7 @@ type BurstResult struct {
 	Rows   []BurstRow
 }
 
-func (e extBurst) Run(o Options) (Result, error) {
+func (e extBurst) Run(ctx context.Context, o Options) (Result, error) {
 	cfgName := "C4" // heaviest rates: burstiness bites hardest
 	if len(o.Configs) > 0 {
 		cfgName = o.Configs[0]
@@ -52,13 +53,13 @@ func (e extBurst) Run(o Options) (Result, error) {
 	res := &BurstResult{Config: cfgName}
 	for _, factor := range []float64{1, 4, 12} {
 		for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return nil, err
 			}
 			c := scfg
 			c.BurstFactor = factor
-			sr, err := sim.RateDriven(p, mp, c)
+			sr, err := sim.RateDriven(ctx, p, mp, c)
 			if err != nil {
 				return nil, err
 			}

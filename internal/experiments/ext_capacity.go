@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -39,7 +40,7 @@ type CapacityResult struct {
 	Rows                           []CapacityRow
 }
 
-func (e extCapacity) Run(o Options) (Result, error) {
+func (e extCapacity) Run(ctx context.Context, o Options) (Result, error) {
 	lm, err := model.New(mesh.MustNew(8, 8), model.DefaultParams())
 	if err != nil {
 		return nil, err
@@ -80,7 +81,7 @@ func (e extCapacity) Run(o Options) (Result, error) {
 		mapping.Annealing{Iters: o.SAIters(), Seed: o.Seed + 73},
 		mapping.SortSelectSwap{},
 	} {
-		mp, err := mapping.MapAndCheck(m, p)
+		mp, err := mapping.MapAndCheck(ctx, m, p)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -37,7 +38,7 @@ type CongestionResult struct {
 	Rows   []CongestionRow
 }
 
-func (e extCongestion) Run(o Options) (Result, error) {
+func (e extCongestion) Run(ctx context.Context, o Options) (Result, error) {
 	cfgName := "C4"
 	if len(o.Configs) > 0 {
 		cfgName = o.Configs[0]
@@ -53,11 +54,11 @@ func (e extCongestion) Run(o Options) (Result, error) {
 	}
 	res := &CongestionResult{Config: cfgName}
 	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-		mp, err := mapping.MapAndCheck(m, p)
+		mp, err := mapping.MapAndCheck(ctx, m, p)
 		if err != nil {
 			return nil, err
 		}
-		sr, err := sim.RateDriven(p, mp, scfg)
+		sr, err := sim.RateDriven(ctx, p, mp, scfg)
 		if err != nil {
 			return nil, err
 		}

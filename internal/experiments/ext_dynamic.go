@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -84,7 +85,7 @@ func churnScenario() (sched.Scenario, error) {
 	return sc, nil
 }
 
-func (e extDynamic) Run(o Options) (Result, error) {
+func (e extDynamic) Run(ctx context.Context, o Options) (Result, error) {
 	sc, err := churnScenario()
 	if err != nil {
 		return nil, err
@@ -102,7 +103,7 @@ func (e extDynamic) Run(o Options) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		met, err := r.Run(sc)
+		met, err := r.Run(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func (e extDynamic) Run(o Options) (Result, error) {
 		return nil, err
 	}
 	budgeted.MigrationBudget = 16
-	met, err := budgeted.Run(sc)
+	met, err := budgeted.Run(ctx, sc)
 	if err != nil {
 		return nil, err
 	}

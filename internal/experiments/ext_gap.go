@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -29,8 +30,11 @@ type GapResult struct {
 	Obj [][]float64
 }
 
-func (g extGap) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (g extGap) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	mappers := append(standardMappers(o),
 		mapping.Greedy{},
 		mapping.BalancedGreedy{},
@@ -55,7 +59,7 @@ func (g extGap) Run(o Options) (Result, error) {
 		}
 		res.Bounds = append(res.Bounds, lb)
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/noc"
@@ -29,7 +30,7 @@ type LoadSweepResult struct {
 	Points [][]noc.LoadPoint
 }
 
-func (e extLoadSweep) Run(o Options) (Result, error) {
+func (e extLoadSweep) Run(ctx context.Context, o Options) (Result, error) {
 	cfg := noc.DefaultConfig()
 	sw := noc.DefaultSweepConfig()
 	sw.Seed = o.Seed + 41
@@ -54,7 +55,7 @@ func (e extLoadSweep) Run(o Options) (Result, error) {
 			jobs = append(jobs, job{pi, ri})
 		}
 	}
-	pts, err := sim.RunReplicas(len(jobs), 0, func(i int) (noc.LoadPoint, error) {
+	pts, err := sim.RunReplicas(ctx, len(jobs), 0, func(ctx context.Context, i int) (noc.LoadPoint, error) {
 		j := jobs[i]
 		return noc.MeasureLoadPoint(cfg, pats[j.pi], sw.Rates[j.ri], sw)
 	})

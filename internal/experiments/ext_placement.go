@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -36,8 +37,11 @@ type PlacementResult struct {
 	Rows []PlacementRow
 }
 
-func (e extPlacement) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, []string{"C1", "C4"})
+func (e extPlacement) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, []string{"C1", "C4"})
+	if err != nil {
+		return nil, err
+	}
 	msh := mesh.MustNew(8, 8)
 	placements := []model.Placement{
 		model.CornersPlacement(msh),
@@ -59,11 +63,11 @@ func (e extPlacement) Run(o Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+			gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 			if err != nil {
 				return nil, err
 			}
-			sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+			sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ type ScalingResult struct {
 	Rows []ScalingRow
 }
 
-func (s extScaling) Run(o Options) (Result, error) {
+func (s extScaling) Run(ctx context.Context, o Options) (Result, error) {
 	sizes := []int{4, 6, 8, 10, 12, 16}
 	if o.Quick {
 		sizes = []int{4, 8, 12}
@@ -69,14 +70,14 @@ func (s extScaling) Run(o Options) (Result, error) {
 			return nil, err
 		}
 		row := ScalingRow{N: n}
-		gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+		gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 		if err != nil {
 			return nil, err
 		}
 		evG := p.Evaluate(gm)
 		row.GlobalMax, row.GlobalDev = evG.MaxAPL, evG.DevAPL
 		start := time.Now()
-		sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+		sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -33,19 +34,22 @@ type SeedsResult struct {
 	MaxAPLRedux, DevRedux, GAPLOver []float64
 }
 
-func (e extSeeds) Run(o Options) (Result, error) {
+func (e extSeeds) Run(ctx context.Context, o Options) (Result, error) {
 	seeds := 10
 	if o.Quick {
 		seeds = 4
 	}
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	res := &SeedsResult{Seeds: seeds}
 	for s := 0; s < seeds; s++ {
 		var maxR, devR, gO float64
 		type acc struct{ gMax, sMax, gDev, sDev, gG, sG float64 }
 		var sums acc
 		results := make([]acc, len(cfgs))
-		err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+		err := parallelConfigs(ctx, cfgs, func(ci int, cfg string) error {
 			target := workload.Table3[cfg]
 			w, err := workload.Generate(workload.GenSpec{
 				Name: fmt.Sprintf("%s-seed%d", cfg, s), NumApps: 4, ThreadsPer: 16,
@@ -59,11 +63,11 @@ func (e extSeeds) Run(o Options) (Result, error) {
 			if err != nil {
 				return err
 			}
-			gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+			gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 			if err != nil {
 				return err
 			}
-			sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+			sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -37,7 +38,7 @@ type TailResult struct {
 	SpreadP99 map[string]float64
 }
 
-func (e extTail) Run(o Options) (Result, error) {
+func (e extTail) Run(ctx context.Context, o Options) (Result, error) {
 	cfgName := "C1"
 	if len(o.Configs) > 0 {
 		cfgName = o.Configs[0]
@@ -54,14 +55,14 @@ func (e extTail) Run(o Options) (Result, error) {
 	reps := o.SimReplicas()
 	res := &TailResult{Config: cfgName, SpreadP99: map[string]float64{}}
 	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-		mp, err := mapping.MapAndCheck(m, p)
+		mp, err := mapping.MapAndCheck(ctx, m, p)
 		if err != nil {
 			return nil, err
 		}
 		// Independent seeded replicas sharded across cores; percentiles
 		// are averaged per application, tightening the tail estimates
 		// (a single replica reproduces the unreplicated measurement).
-		srs, err := sim.RateDrivenReplicas(p, mp, scfg, reps)
+		srs, err := sim.RateDrivenReplicas(ctx, p, mp, scfg, reps)
 		if err != nil {
 			return nil, err
 		}

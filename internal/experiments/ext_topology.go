@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -42,8 +43,11 @@ type TopologyResult struct {
 	Rows []TopologyRow
 }
 
-func (e extTopology) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, []string{"C1", "C4"})
+func (e extTopology) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, []string{"C1", "C4"})
+	if err != nil {
+		return nil, err
+	}
 	msh := mesh.MustNew(8, 8)
 	build := func(torus bool) (*model.LatencyModel, error) {
 		if torus {
@@ -75,11 +79,11 @@ func (e extTopology) Run(o Options) (Result, error) {
 				row.RandDev += p.Evaluate(core.RandomMapping(p.N(), rng)).DevAPL
 			}
 			row.RandDev /= float64(draws)
-			gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+			gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 			if err != nil {
 				return nil, err
 			}
-			sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+			sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 			if err != nil {
 				return nil, err
 			}

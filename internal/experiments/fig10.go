@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"obm/internal/mapping"
 	"obm/internal/workload"
 )
@@ -16,8 +17,11 @@ type fig10 struct{}
 func (fig10) ID() string    { return "fig10" }
 func (fig10) Title() string { return "Figure 10: normalized global APL of the four mapping methods" }
 
-func (f fig10) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (f fig10) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	mappers := standardMappers(o)
 	res := &MapperSeries{
 		Caption:    "Figure 10: g-APL normalized to Global",
@@ -33,13 +37,13 @@ func (f fig10) Run(o Options) (Result, error) {
 	for mi := range mappers {
 		res.Values[mi] = make([]float64, len(cfgs))
 	}
-	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+	err = parallelConfigs(ctx, cfgs, func(ci int, cfg string) error {
 		p, err := problemFor(cfg)
 		if err != nil {
 			return err
 		}
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return err
 			}

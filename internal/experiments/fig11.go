@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"obm/internal/mapping"
 	"obm/internal/power"
 	"obm/internal/sim"
@@ -17,12 +18,17 @@ type fig11 struct{}
 func (fig11) ID() string    { return "fig11" }
 func (fig11) Title() string { return "Figure 11: dynamic NoC power comparison" }
 
-func (f fig11) Run(o Options) (Result, error) {
+func (f fig11) Run(ctx context.Context, o Options) (Result, error) {
 	// Simulation is the expensive part; the paper's power story is the
 	// same on every configuration, so the default set is trimmed.
-	cfgs := configsOrDefault(o, []string{"C1", "C3", "C5", "C7"})
+	cfgs, err := configsOrDefault(o, []string{"C1", "C3", "C5", "C7"})
+	if err != nil {
+		return nil, err
+	}
 	if o.Quick {
-		cfgs = configsOrDefault(o, []string{"C1", "C5"})
+		if len(o.Configs) == 0 {
+			cfgs = []string{"C1", "C5"}
+		}
 	}
 	mappers := standardMappers(o)
 	res := &MapperSeries{
@@ -45,17 +51,17 @@ func (f fig11) Run(o Options) (Result, error) {
 	for mi := range mappers {
 		res.Values[mi] = make([]float64, len(cfgs))
 	}
-	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+	err = parallelConfigs(ctx, cfgs, func(ci int, cfg string) error {
 		for mi, m := range mappers {
 			p, err := problemFor(cfg)
 			if err != nil {
 				return err
 			}
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return err
 			}
-			sr, err := sim.RateDriven(p, mp, scfg)
+			sr, err := sim.RateDriven(ctx, p, mp, scfg)
 			if err != nil {
 				return err
 			}

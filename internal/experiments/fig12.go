@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -29,8 +30,11 @@ type Fig12Result struct {
 	SSSMaxAPL float64
 }
 
-func (f fig12) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (f fig12) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	mults := []float64{0.1, 0.3, 1, 3, 10, 30, 100}
 	if o.Quick {
 		mults = []float64{0.1, 1, 10}
@@ -42,7 +46,7 @@ func (f fig12) Run(o Options) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+		sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +56,7 @@ func (f fig12) Run(o Options) (Result, error) {
 			if iters < 10 {
 				iters = 10
 			}
-			sam, err := mapping.MapAndCheck(mapping.Annealing{Iters: iters, Seed: o.Seed + 7}, p)
+			sam, err := mapping.MapAndCheck(ctx, mapping.Annealing{Iters: iters, Seed: o.Seed + 7}, p)
 			if err != nil {
 				return nil, err
 			}

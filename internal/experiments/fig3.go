@@ -1,6 +1,9 @@
 package experiments
 
-import "obm/internal/mesh"
+import (
+	"context"
+	"obm/internal/mesh"
+)
 
 func init() { register(fig3{}) }
 
@@ -17,7 +20,7 @@ type Fig3Result struct {
 	TC, TM [][]float64
 }
 
-func (f fig3) Run(o Options) (Result, error) {
+func (f fig3) Run(ctx context.Context, o Options) (Result, error) {
 	lm := paperModel()
 	msh := lm.Mesh()
 	res := &Fig3Result{

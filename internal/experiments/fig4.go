@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -27,12 +28,12 @@ type FigMappingResult struct {
 	Note    string
 }
 
-func (f fig4) Run(o Options) (Result, error) {
+func (f fig4) Run(ctx context.Context, o Options) (Result, error) {
 	p, err := problemFor("C1")
 	if err != nil {
 		return nil, err
 	}
-	m, err := mapping.MapAndCheck(mapping.Global{}, p)
+	m, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 	if err != nil {
 		return nil, err
 	}

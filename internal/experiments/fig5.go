@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -31,7 +32,7 @@ type Fig5Result struct {
 	SSSMaxAPL, GlobalMaxAPL float64
 }
 
-func (f fig5) Run(o Options) (Result, error) {
+func (f fig5) Run(ctx context.Context, o Options) (Result, error) {
 	lm, err := model.New(mesh.MustNew(4, 4), model.Figure5Params())
 	if err != nil {
 		return nil, err
@@ -82,12 +83,12 @@ func (f fig5) Run(o Options) (Result, error) {
 	}
 	// Cross-check: SSS should find the good solution's objective value;
 	// Global is optimal for g-APL which here coincides with it.
-	sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 	if err != nil {
 		return nil, err
 	}
 	res.SSSMaxAPL = p.MaxAPL(sm)
-	gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+	gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 	if err != nil {
 		return nil, err
 	}

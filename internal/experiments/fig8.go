@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -24,7 +25,7 @@ type Fig8Result struct {
 	SSSMax, GlobalMax   float64
 }
 
-func (f fig8) Run(o Options) (Result, error) {
+func (f fig8) Run(ctx context.Context, o Options) (Result, error) {
 	// Evaluate the two mappers as independent jobs; each builds its own
 	// Problem so the fan-out shares nothing.
 	type eval struct {
@@ -33,12 +34,12 @@ func (f fig8) Run(o Options) (Result, error) {
 		maxAPL float64
 	}
 	mappers := []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}}
-	evs, err := sim.RunReplicas(len(mappers), 0, func(i int) (eval, error) {
+	evs, err := sim.RunReplicas(ctx, len(mappers), 0, func(ctx context.Context, i int) (eval, error) {
 		p, err := problemFor("C1")
 		if err != nil {
 			return eval{}, err
 		}
-		mp, err := mapping.MapAndCheck(mappers[i], p)
+		mp, err := mapping.MapAndCheck(ctx, mappers[i], p)
 		if err != nil {
 			return eval{}, err
 		}

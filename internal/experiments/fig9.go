@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -35,8 +36,11 @@ type MapperSeries struct {
 	Normalized bool
 }
 
-func (f fig9) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (f fig9) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	mappers := standardMappers(o)
 	res := &MapperSeries{
 		Caption:   "Figure 9: max-APL (cycles)",
@@ -50,14 +54,14 @@ func (f fig9) Run(o Options) (Result, error) {
 	// One job per configuration, each building its own Problem
 	// (share-nothing); RunReplicas returns columns in config order, so
 	// the table is identical to the serial loop's.
-	cols, err := sim.RunReplicas(len(cfgs), 0, func(ci int) ([]float64, error) {
+	cols, err := sim.RunReplicas(ctx, len(cfgs), 0, func(ctx context.Context, ci int) ([]float64, error) {
 		p, err := problemFor(cfgs[ci])
 		if err != nil {
 			return nil, err
 		}
 		col := make([]float64, len(mappers))
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return nil, err
 			}

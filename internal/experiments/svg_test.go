@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestFigurersProduceSVG(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := r.Run(quickOpts())
+		res, err := r.Run(context.Background(), quickOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

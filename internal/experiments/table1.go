@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -35,8 +36,11 @@ type Table1Result struct {
 	Avg  Table1Row
 }
 
-func (t table1) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, []string{"C1", "C2", "C3", "C4"})
+func (t table1) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, []string{"C1", "C2", "C3", "C4"})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table1Result{}
 	for _, cfg := range cfgs {
 		p, err := problemFor(cfg)
@@ -56,7 +60,7 @@ func (t table1) Run(o Options) (Result, error) {
 		row.RandMaxAPL /= float64(draws)
 		row.RandDevAPL /= float64(draws)
 
-		gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+		gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/workload"
@@ -28,8 +29,11 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-func (t table3) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (t table3) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	res := &Table3Result{}
 	for _, cfg := range cfgs {
 		w, err := workload.Config(cfg)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -25,8 +26,11 @@ type Table4Result struct {
 	Dev [][]float64
 }
 
-func (t table4) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, workload.ConfigNames())
+func (t table4) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	if err != nil {
+		return nil, err
+	}
 	mappers := standardMappers(o)
 	res := &Table4Result{Configs: cfgs}
 	for _, m := range mappers {
@@ -36,13 +40,13 @@ func (t table4) Run(o Options) (Result, error) {
 	for mi := range mappers {
 		res.Dev[mi] = make([]float64, len(cfgs))
 	}
-	err := parallelConfigs(cfgs, func(ci int, cfg string) error {
+	err = parallelConfigs(ctx, cfgs, func(ci int, cfg string) error {
 		p, err := problemFor(cfg)
 		if err != nil {
 			return err
 		}
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(m, p)
+			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return err
 			}

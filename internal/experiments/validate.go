@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,15 +37,18 @@ type ValidateResult struct {
 	MeanAbsErr    float64
 }
 
-func (v validate) Run(o Options) (Result, error) {
-	cfgs := configsOrDefault(o, []string{"C1"})
+func (v validate) Run(ctx context.Context, o Options) (Result, error) {
+	cfgs, err := configsOrDefault(o, []string{"C1"})
+	if err != nil {
+		return nil, err
+	}
 	var parts []Result
 	for _, cfg := range cfgs {
 		p, err := problemFor(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+		m, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +57,7 @@ func (v validate) Run(o Options) (Result, error) {
 		if o.Quick {
 			scfg.MeasureCycles = 50_000
 		}
-		sr, err := sim.RateDriven(p, m, scfg)
+		sr, err := sim.RateDriven(ctx, p, m, scfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,10 +1,12 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/stats"
 )
 
@@ -29,11 +31,18 @@ type Annealing struct {
 // Name implements Mapper.
 func (a Annealing) Name() string { return fmt.Sprintf("SA(%d)", a.Iters) }
 
-// Map implements Mapper.
-func (a Annealing) Map(p *core.Problem) (core.Mapping, error) {
+// saPollMask sets how often the iteration loop polls cancellation and
+// reports progress (every saPollMask+1 proposed moves).
+const saPollMask = 63
+
+// Map implements Mapper. The move loop polls ctx every saPollMask+1
+// iterations and returns a wrapped ctx.Err() when cancelled; the polls
+// never touch the random stream.
+func (a Annealing) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	if a.Iters <= 0 {
 		return nil, fmt.Errorf("annealing: need positive iteration count, got %d", a.Iters)
 	}
+	rep := engine.StartStage(ctx, a.Name())
 	rng := stats.NewRand(a.Seed)
 	n := p.N()
 	cur := core.RandomMapping(n, rng)
@@ -59,6 +68,12 @@ func (a Annealing) Map(p *core.Problem) (core.Mapping, error) {
 	curObj := bestObj
 	temp := t0
 	for it := 0; it < a.Iters; it++ {
+		if it&saPollMask == saPollMask {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("annealing: interrupted after %d/%d iterations: %w", it, a.Iters, err)
+			}
+			rep.Report(it, a.Iters)
+		}
 		j1 := rng.Intn(n)
 		j2 := rng.Intn(n - 1)
 		if j2 >= j1 {
@@ -79,5 +94,6 @@ func (a Annealing) Map(p *core.Problem) (core.Mapping, error) {
 		}
 		temp *= cooling
 	}
+	rep.Finish(a.Iters, a.Iters)
 	return best, nil
 }

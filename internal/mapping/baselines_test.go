@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestGreedyValid(t *testing.T) {
 	for _, cfg := range []string{"C1", "C7"} {
 		p := paperProblem(t, cfg)
 		for _, m := range []Mapper{Greedy{}, BalancedGreedy{}} {
-			mp, err := MapAndCheck(m, p)
+			mp, err := MapAndCheck(context.Background(), m, p)
 			if err != nil {
 				t.Fatalf("%s: %v", m.Name(), err)
 			}
@@ -27,11 +28,11 @@ func TestGreedyValid(t *testing.T) {
 // a few percent (it is the classic constructive heuristic for it).
 func TestGreedyNearGlobal(t *testing.T) {
 	p := paperProblem(t, "C3")
-	gm, err := MapAndCheck(Global{}, p)
+	gm, err := MapAndCheck(context.Background(), Global{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hm, err := MapAndCheck(Greedy{}, p)
+	hm, err := MapAndCheck(context.Background(), Greedy{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestBalancedGreedyBeatsGreedyOnMaxAPL(t *testing.T) {
 	better := 0
 	for _, cfg := range []string{"C1", "C3", "C4", "C6", "C8"} {
 		p := paperProblem(t, cfg)
-		gm, err := MapAndCheck(Greedy{}, p)
+		gm, err := MapAndCheck(context.Background(), Greedy{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bm, err := MapAndCheck(BalancedGreedy{}, p)
+		bm, err := MapAndCheck(context.Background(), BalancedGreedy{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestBalancedGreedyBeatsGreedyOnMaxAPL(t *testing.T) {
 func TestGeneticValidAndImproves(t *testing.T) {
 	p := paperProblem(t, "C2")
 	ga := Genetic{Population: 32, Generations: 60, Seed: 5}
-	mp, err := MapAndCheck(ga, p)
+	mp, err := MapAndCheck(context.Background(), ga, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestGeneticValidAndImproves(t *testing.T) {
 
 func TestGeneticRejectsBadElite(t *testing.T) {
 	p := paperProblem(t, "C1")
-	if _, err := (Genetic{Population: 4, Elite: 4}).Map(p); err == nil {
+	if _, err := (Genetic{Population: 4, Elite: 4}).Map(context.Background(), p); err == nil {
 		t.Error("elite >= population accepted")
 	}
 }
@@ -98,11 +99,11 @@ func TestGeneticRejectsBadElite(t *testing.T) {
 func TestGeneticDeterministic(t *testing.T) {
 	p := paperProblem(t, "C1")
 	ga := Genetic{Population: 16, Generations: 20, Seed: 3}
-	a, err := ga.Map(p)
+	a, err := ga.Map(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ga.Map(p)
+	b, err := ga.Map(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestOrderCrossoverValid(t *testing.T) {
 func TestClusterSAValid(t *testing.T) {
 	p := paperProblem(t, "C4")
 	m := ClusterSA{Seed: 11}
-	mp, err := MapAndCheck(m, p)
+	mp, err := MapAndCheck(context.Background(), m, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +143,10 @@ func TestClusterSAValid(t *testing.T) {
 
 func TestClusterSARejectsBadGeometry(t *testing.T) {
 	p := paperProblem(t, "C1")
-	if _, err := (ClusterSA{ClusterSize: 3}).Map(p); err == nil {
+	if _, err := (ClusterSA{ClusterSize: 3}).Map(context.Background(), p); err == nil {
 		t.Error("cluster size 3 should not divide 16-thread apps cleanly... (64%3 != 0)")
 	}
-	if _, err := (ClusterSA{ClusterSize: 5}).Map(p); err == nil {
+	if _, err := (ClusterSA{ClusterSize: 5}).Map(context.Background(), p); err == nil {
 		t.Error("cluster size 5 accepted")
 	}
 }
@@ -157,11 +158,11 @@ func TestClusterSAOrdering(t *testing.T) {
 	var csaDev, sssDev, rndDev float64
 	for _, cfg := range []string{"C1", "C3", "C6"} {
 		p := paperProblem(t, cfg)
-		cm, err := MapAndCheck(ClusterSA{Seed: 2}, p)
+		cm, err := MapAndCheck(context.Background(), ClusterSA{Seed: 2}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,11 +189,11 @@ func TestClusterSAOrdering(t *testing.T) {
 func TestMonteCarloParallel(t *testing.T) {
 	p := paperProblem(t, "C4")
 	mc4 := MonteCarlo{Samples: 2000, Seed: 7, Workers: 4}
-	a, err := MapAndCheck(mc4, p)
+	a, err := MapAndCheck(context.Background(), mc4, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MapAndCheck(mc4, p)
+	b, err := MapAndCheck(context.Background(), mc4, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestMonteCarloParallel(t *testing.T) {
 		}
 	}
 	// GOMAXPROCS mode also works and validates.
-	auto, err := MapAndCheck(MonteCarlo{Samples: 2000, Seed: 7, Workers: -1}, p)
+	auto, err := MapAndCheck(context.Background(), MonteCarlo{Samples: 2000, Seed: 7, Workers: -1}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestMonteCarloParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	// More workers than samples clamps rather than panicking.
-	tiny, err := MapAndCheck(MonteCarlo{Samples: 3, Seed: 7, Workers: 64}, p)
+	tiny, err := MapAndCheck(context.Background(), MonteCarlo{Samples: 3, Seed: 7, Workers: 64}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,11 +224,11 @@ func TestMonteCarloParallel(t *testing.T) {
 // number of samples, so quality is statistically equivalent to serial.
 func TestMonteCarloParallelQuality(t *testing.T) {
 	p := paperProblem(t, "C6")
-	serial, err := MapAndCheck(MonteCarlo{Samples: 4000, Seed: 11}, p)
+	serial, err := MapAndCheck(context.Background(), MonteCarlo{Samples: 4000, Seed: 11}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := MapAndCheck(MonteCarlo{Samples: 4000, Seed: 11, Workers: 8}, p)
+	par, err := MapAndCheck(context.Background(), MonteCarlo{Samples: 4000, Seed: 11, Workers: 8}, p)
 	if err != nil {
 		t.Fatal(err)
 	}

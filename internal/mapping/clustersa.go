@@ -1,11 +1,13 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/mesh"
 	"obm/internal/stats"
 )
@@ -37,8 +39,9 @@ func (c ClusterSA) Name() string {
 	return fmt.Sprintf("ClusterSA(%d)", cs)
 }
 
-// Map implements Mapper.
-func (c ClusterSA) Map(p *core.Problem) (core.Mapping, error) {
+// Map implements Mapper. Every iteration includes at least one
+// Hungarian solve, so the loop polls cancellation each move.
+func (c ClusterSA) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	cs := c.ClusterSize
 	if cs <= 0 {
 		cs = 4
@@ -127,6 +130,7 @@ func (c ClusterSA) Map(p *core.Problem) (core.Mapping, error) {
 	}
 
 	rng := stats.NewRand(c.Seed)
+	rep := engine.StartStage(ctx, c.Name())
 	bestM, bestObj, err := evaluate()
 	if err != nil {
 		return nil, err
@@ -135,6 +139,10 @@ func (c ClusterSA) Map(p *core.Problem) (core.Mapping, error) {
 	temp := 0.05 * bestObj
 	cooling := math.Exp(math.Log(1e-3) / float64(iters))
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("clustersa: interrupted after %d/%d iterations: %w", it, iters, err)
+		}
+		rep.Report(it, iters)
 		// Swap ownership of two clusters with different owners.
 		a := rng.Intn(numClusters)
 		b := rng.Intn(numClusters)
@@ -162,5 +170,6 @@ func (c ClusterSA) Map(p *core.Problem) (core.Mapping, error) {
 		}
 		temp *= cooling
 	}
+	rep.Finish(iters, iters)
 	return bestM, nil
 }

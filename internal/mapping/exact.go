@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,8 +24,10 @@ type Exact struct {
 // Name implements Mapper.
 func (Exact) Name() string { return "Exact" }
 
-// Map implements Mapper.
-func (e Exact) Map(p *core.Problem) (core.Mapping, error) {
+// Map implements Mapper. The branch-and-bound search polls
+// cancellation every few thousand nodes, so even an exponential
+// instance unwinds promptly under a deadline.
+func (e Exact) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	n := p.N()
 	if n > 24 {
 		return nil, fmt.Errorf("exact: %d tiles is far beyond branch-and-bound reach", n)
@@ -35,7 +38,7 @@ func (e Exact) Map(p *core.Problem) (core.Mapping, error) {
 	}
 
 	// Seed the incumbent with SSS so pruning bites immediately.
-	incumbent, err := (SortSelectSwap{}).Map(p)
+	incumbent, err := (SortSelectSwap{}).Map(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -81,15 +84,22 @@ func (e Exact) Map(p *core.Problem) (core.Mapping, error) {
 	}
 
 	var overflow bool
+	var cancelled error
 	var dfs func(j int)
 	dfs = func(j int) {
-		if overflow {
+		if overflow || cancelled != nil {
 			return
 		}
 		nodes++
 		if nodes > maxNodes {
 			overflow = true
 			return
+		}
+		if nodes&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				cancelled = err
+				return
+			}
 		}
 		if j == n {
 			obj := 0.0
@@ -124,6 +134,9 @@ func (e Exact) Map(p *core.Problem) (core.Mapping, error) {
 		}
 	}
 	dfs(0)
+	if cancelled != nil {
+		return nil, fmt.Errorf("exact: interrupted after %d nodes: %w", nodes, cancelled)
+	}
 	if overflow {
 		return nil, fmt.Errorf("exact: search exceeded %d nodes; instance too large", maxNodes)
 	}

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,7 +37,7 @@ func tinyProblem(t testing.TB, rows, cols, apps int, seed uint64) *core.Problem 
 
 func TestExactRejectsLargeInstances(t *testing.T) {
 	p := paperProblem(t, "C1")
-	if _, err := (Exact{}).Map(p); err == nil {
+	if _, err := (Exact{}).Map(context.Background(), p); err == nil {
 		t.Error("64-tile exact solve accepted")
 	}
 }
@@ -47,7 +48,7 @@ func TestExactMatchesBruteForce(t *testing.T) {
 	for seed := uint64(1); seed <= 6; seed++ {
 		for _, dims := range [][3]int{{2, 2, 2}, {2, 3, 2}, {2, 3, 3}} {
 			p := tinyProblem(t, dims[0], dims[1], dims[2], seed)
-			em, err := MapAndCheck(Exact{}, p)
+			em, err := MapAndCheck(context.Background(), Exact{}, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +90,7 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 	var sssGapSum, cases float64
 	for seed := uint64(1); seed <= 5; seed++ {
 		p := tinyProblem(t, 3, 4, 2, seed)
-		em, err := MapAndCheck(Exact{}, p)
+		em, err := MapAndCheck(context.Background(), Exact{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 			MonteCarlo{Samples: 300, Seed: seed},
 			Annealing{Iters: 3000, Seed: seed},
 		} {
-			hm, err := MapAndCheck(h, p)
+			hm, err := MapAndCheck(context.Background(), h, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +111,7 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 				t.Errorf("seed %d: %s beat the exact optimum (%v < %v)", seed, h.Name(), obj, opt)
 			}
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestLowerBoundValid(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		em, err := MapAndCheck(Exact{}, p)
+		em, err := MapAndCheck(context.Background(), Exact{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func TestLowerBoundOnPaperConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package mapping_test
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -17,7 +18,7 @@ func ExampleSortSelectSwap() {
 	lm := model.MustNew(mesh.MustNew(4, 4), model.Figure5Params())
 	p := core.MustNewProblem(lm, workload.Figure5Workload())
 
-	m, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	m, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +36,7 @@ func ExampleGlobal() {
 	lm := model.MustNew(mesh.MustNew(4, 4), model.Figure5Params())
 	p := core.MustNewProblem(lm, workload.Figure5Workload())
 
-	m, err := mapping.MapAndCheck(mapping.Global{}, p)
+	m, err := mapping.MapAndCheck(context.Background(), mapping.Global{}, p)
 	if err != nil {
 		panic(err)
 	}

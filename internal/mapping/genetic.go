@@ -1,9 +1,11 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/stats"
 )
 
@@ -37,8 +39,9 @@ func (g Genetic) Name() string {
 	return fmt.Sprintf("GA(%dx%d)", pop, gen)
 }
 
-// Map implements Mapper.
-func (g Genetic) Map(p *core.Problem) (core.Mapping, error) {
+// Map implements Mapper. The generation loop polls cancellation once
+// per generation (each generation evaluates a full population).
+func (g Genetic) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	pop := g.Population
 	if pop <= 0 {
 		pop = 64
@@ -85,8 +88,13 @@ func (g Genetic) Map(p *core.Problem) (core.Mapping, error) {
 		return b.m
 	}
 
+	rep := engine.StartStage(ctx, g.Name())
 	next := make([]indiv, pop)
 	for gen := 0; gen < gens; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("genetic: interrupted after %d/%d generations: %w", gen, gens, err)
+		}
+		rep.Report(gen, gens)
 		// Elitism: carry the best forward untouched.
 		sortByFitness(cur)
 		copy(next[:elite], cur[:elite])
@@ -100,6 +108,7 @@ func (g Genetic) Map(p *core.Problem) (core.Mapping, error) {
 		}
 		cur, next = next, cur
 	}
+	rep.Finish(gens, gens)
 	return bestOf(cur).m.Clone(), nil
 }
 

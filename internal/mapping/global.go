@@ -1,6 +1,8 @@
 package mapping
 
 import (
+	"context"
+
 	"obm/internal/core"
 	"obm/internal/hungarian"
 	"obm/internal/mesh"
@@ -19,7 +21,10 @@ func (Global) Name() string { return "Global" }
 // Map implements Mapper. The chip-wide cost matrix entry for thread j on
 // tile k is c_j*TC(k) + m_j*TM(k); a single Hungarian solve yields the
 // g-APL-optimal permutation in O(N^3).
-func (Global) Map(p *core.Problem) (core.Mapping, error) {
+func (Global) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := p.N()
 	cost := make([][]float64, n)
 	flat := make([]float64, n*n)

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"sort"
 
 	"obm/internal/core"
@@ -19,7 +20,10 @@ type Greedy struct{}
 func (Greedy) Name() string { return "Greedy" }
 
 // Map implements Mapper.
-func (Greedy) Map(p *core.Problem) (core.Mapping, error) {
+func (Greedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := p.N()
 	order := make([]int, n)
 	for j := range order {
@@ -64,7 +68,10 @@ type BalancedGreedy struct{}
 func (BalancedGreedy) Name() string { return "BalancedGreedy" }
 
 // Map implements Mapper.
-func (BalancedGreedy) Map(p *core.Problem) (core.Mapping, error) {
+func (BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := p.N()
 	m := make(core.Mapping, n)
 	used := make([]bool, n)

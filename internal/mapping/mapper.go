@@ -14,6 +14,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -25,15 +26,20 @@ type Mapper interface {
 	// Name identifies the algorithm in experiment output.
 	Name() string
 	// Map solves the instance. Implementations must be deterministic for
-	// a fixed configuration (all randomness comes from explicit seeds).
-	Map(p *core.Problem) (core.Mapping, error)
+	// a fixed configuration (all randomness comes from explicit seeds);
+	// ctx carries cancellation, a deadline, and optionally a progress
+	// sink (engine.WithSink), none of which may perturb the random
+	// streams — a run that is never cancelled returns bit-identical
+	// results whatever the context. Iterative mappers poll ctx and
+	// return a ctx.Err()-wrapped error when interrupted.
+	Map(ctx context.Context, p *core.Problem) (core.Mapping, error)
 }
 
 // MapAndCheck runs m on p and validates the returned permutation,
 // wrapping any violation with the mapper's name. Experiment harnesses use
 // this so a buggy mapper can never silently corrupt results.
-func MapAndCheck(m Mapper, p *core.Problem) (core.Mapping, error) {
-	mp, err := m.Map(p)
+func MapAndCheck(ctx context.Context, m Mapper, p *core.Problem) (core.Mapping, error) {
+	mp, err := m.Map(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("mapping: %s: %w", m.Name(), err)
 	}

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func TestAllMappersProduceValidPermutations(t *testing.T) {
 	for _, cfg := range []string{"C1", "C5"} {
 		p := paperProblem(t, cfg)
 		for _, m := range allMappers() {
-			got, err := MapAndCheck(m, p)
+			got, err := MapAndCheck(context.Background(), m, p)
 			if err != nil {
 				t.Errorf("%s on %s: %v", m.Name(), cfg, err)
 				continue
@@ -63,11 +64,11 @@ func TestAllMappersProduceValidPermutations(t *testing.T) {
 func TestMappersDeterministic(t *testing.T) {
 	p := paperProblem(t, "C2")
 	for _, m := range allMappers() {
-		a, err := m.Map(p)
+		a, err := m.Map(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := m.Map(p)
+		b, err := m.Map(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,11 +116,11 @@ func TestMapperNames(t *testing.T) {
 func TestSSSMultiPassMonotone(t *testing.T) {
 	for _, cfg := range []string{"C1", "C4", "C8"} {
 		p := paperProblem(t, cfg)
-		one, err := MapAndCheck(SortSelectSwap{}, p)
+		one, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		five, err := MapAndCheck(SortSelectSwap{Passes: 5}, p)
+		five, err := MapAndCheck(context.Background(), SortSelectSwap{Passes: 5}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,13 +136,13 @@ func TestSSSMultiPassMonotone(t *testing.T) {
 func TestGlobalIsOptimalForGAPL(t *testing.T) {
 	for _, cfg := range workload.ConfigNames() {
 		p := paperProblem(t, cfg)
-		gm, err := MapAndCheck(Global{}, p)
+		gm, err := MapAndCheck(context.Background(), Global{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		gAPL := p.GlobalAPL(gm)
 		for _, m := range allMappers() {
-			got, err := MapAndCheck(m, p)
+			got, err := MapAndCheck(context.Background(), m, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +157,7 @@ func TestGlobalIsOptimalForGAPL(t *testing.T) {
 // is 10.3375 cycles and Global must find it.
 func TestGlobalOptimalOnFigure5(t *testing.T) {
 	p := figure5Problem(t)
-	m, err := MapAndCheck(Global{}, p)
+	m, err := MapAndCheck(context.Background(), Global{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestGlobalOptimalOnFigure5(t *testing.T) {
 // mapping whose max-APL is within a whisker of it.
 func TestSSSNearOptimalOnFigure5(t *testing.T) {
 	p := figure5Problem(t)
-	m, err := MapAndCheck(SortSelectSwap{}, p)
+	m, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +189,11 @@ func TestSSSNearOptimalOnFigure5(t *testing.T) {
 func TestSSSBeatsGlobalOnMaxAPL(t *testing.T) {
 	for _, cfg := range workload.ConfigNames() {
 		p := paperProblem(t, cfg)
-		gm, err := MapAndCheck(Global{}, p)
+		gm, err := MapAndCheck(context.Background(), Global{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,11 +209,11 @@ func TestSSSBeatsGlobalOnMaxAPL(t *testing.T) {
 func TestSSSCrushesDevAPL(t *testing.T) {
 	for _, cfg := range workload.ConfigNames() {
 		p := paperProblem(t, cfg)
-		gm, err := MapAndCheck(Global{}, p)
+		gm, err := MapAndCheck(context.Background(), Global{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,11 +229,11 @@ func TestSSSCrushesDevAPL(t *testing.T) {
 func TestSSSSmallGAPLOverhead(t *testing.T) {
 	for _, cfg := range workload.ConfigNames() {
 		p := paperProblem(t, cfg)
-		gm, err := MapAndCheck(Global{}, p)
+		gm, err := MapAndCheck(context.Background(), Global{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func TestSSSSmallGAPLOverhead(t *testing.T) {
 func TestGlobalExacerbatesImbalance(t *testing.T) {
 	for _, cfg := range workload.ConfigNames() {
 		p := paperProblem(t, cfg)
-		gm, err := MapAndCheck(Global{}, p)
+		gm, err := MapAndCheck(context.Background(), Global{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,11 +269,11 @@ func TestGlobalExacerbatesImbalance(t *testing.T) {
 
 func TestMonteCarloImprovesWithSamples(t *testing.T) {
 	p := paperProblem(t, "C4")
-	m1, err := MapAndCheck(MonteCarlo{Samples: 10, Seed: 9}, p)
+	m1, err := MapAndCheck(context.Background(), MonteCarlo{Samples: 10, Seed: 9}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := MapAndCheck(MonteCarlo{Samples: 3000, Seed: 9}, p)
+	m2, err := MapAndCheck(context.Background(), MonteCarlo{Samples: 3000, Seed: 9}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,25 +284,25 @@ func TestMonteCarloImprovesWithSamples(t *testing.T) {
 
 func TestMonteCarloRejectsBadSamples(t *testing.T) {
 	p := paperProblem(t, "C1")
-	if _, err := (MonteCarlo{Samples: 0}).Map(p); err == nil {
+	if _, err := (MonteCarlo{Samples: 0}).Map(context.Background(), p); err == nil {
 		t.Error("MC with 0 samples accepted")
 	}
 }
 
 func TestAnnealingRejectsBadIters(t *testing.T) {
 	p := paperProblem(t, "C1")
-	if _, err := (Annealing{Iters: 0}).Map(p); err == nil {
+	if _, err := (Annealing{Iters: 0}).Map(context.Background(), p); err == nil {
 		t.Error("SA with 0 iterations accepted")
 	}
 }
 
 func TestAnnealingImprovesOverRandom(t *testing.T) {
 	p := paperProblem(t, "C6")
-	rm, err := MapAndCheck(Random{Seed: 11}, p)
+	rm, err := MapAndCheck(context.Background(), Random{Seed: 11}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa, err := MapAndCheck(Annealing{Iters: 20000, Seed: 11}, p)
+	sa, err := MapAndCheck(context.Background(), Annealing{Iters: 20000, Seed: 11}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,11 +313,11 @@ func TestAnnealingImprovesOverRandom(t *testing.T) {
 
 func TestAnnealingMoreItersHelps(t *testing.T) {
 	p := paperProblem(t, "C3")
-	short, err := MapAndCheck(Annealing{Iters: 100, Seed: 7}, p)
+	short, err := MapAndCheck(context.Background(), Annealing{Iters: 100, Seed: 7}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := MapAndCheck(Annealing{Iters: 50000, Seed: 7}, p)
+	long, err := MapAndCheck(context.Background(), Annealing{Iters: 50000, Seed: 7}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestAnnealingMoreItersHelps(t *testing.T) {
 func TestSSSWindowValidation(t *testing.T) {
 	p := paperProblem(t, "C1")
 	for _, w := range []int{1, 6, -2} {
-		if _, err := (SortSelectSwap{WindowSize: w}).Map(p); err == nil {
+		if _, err := (SortSelectSwap{WindowSize: w}).Map(context.Background(), p); err == nil {
 			t.Errorf("window size %d accepted", w)
 		}
 	}
@@ -339,11 +340,11 @@ func TestSSSWindowValidation(t *testing.T) {
 func TestSSSPhasesMonotone(t *testing.T) {
 	for _, cfg := range []string{"C1", "C3", "C8"} {
 		p := paperProblem(t, cfg)
-		coarse, err := MapAndCheck(SortSelectSwap{DisableSwap: true, DisableFinalSAM: true}, p)
+		coarse, err := MapAndCheck(context.Background(), SortSelectSwap{DisableSwap: true, DisableFinalSAM: true}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := MapAndCheck(SortSelectSwap{}, p)
+		full, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -521,7 +522,7 @@ func TestAllMappersOnTorusAndCapacity(t *testing.T) {
 		"capacity": capacity2Problem(t),
 	} {
 		for _, m := range allMappers() {
-			mp, err := MapAndCheck(m, p)
+			mp, err := MapAndCheck(context.Background(), m, p)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, m.Name(), err)
 			}
@@ -529,11 +530,11 @@ func TestAllMappersOnTorusAndCapacity(t *testing.T) {
 				t.Fatalf("%s/%s: %v", name, m.Name(), err)
 			}
 		}
-		gm, err := MapAndCheck(Global{}, p)
+		gm, err := MapAndCheck(context.Background(), Global{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm, err := MapAndCheck(SortSelectSwap{}, p)
+		sm, err := MapAndCheck(context.Background(), SortSelectSwap{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,11 +1,14 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/stats"
 )
 
@@ -30,17 +33,29 @@ type MonteCarlo struct {
 // Name implements Mapper.
 func (mc MonteCarlo) Name() string { return fmt.Sprintf("MC(%d)", mc.Samples) }
 
-// Map implements Mapper.
-func (mc MonteCarlo) Map(p *core.Problem) (core.Mapping, error) {
+// mcPollMask sets how often the sample loop polls cancellation and
+// reports progress: every mcPollMask+1 samples (a power of two so the
+// check is a mask, not a division).
+const mcPollMask = 255
+
+// Map implements Mapper. It polls ctx between samples and returns a
+// wrapped ctx.Err() when cancelled; polling never touches the random
+// stream, so an uncancelled run is bit-identical for any context.
+func (mc MonteCarlo) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	if mc.Samples <= 0 {
 		return nil, fmt.Errorf("montecarlo: need positive sample count, got %d", mc.Samples)
 	}
+	rep := engine.StartStage(ctx, mc.Name())
 	workers := mc.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		best, _ := mcChunk(p, mc.Samples, mc.Seed)
+		best, _, err := mcChunk(ctx, rep, nil, p, mc.Samples, mc.Samples, mc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Finish(mc.Samples, mc.Samples)
 		return best, nil
 	}
 	if workers > mc.Samples {
@@ -49,8 +64,10 @@ func (mc MonteCarlo) Map(p *core.Problem) (core.Mapping, error) {
 	type chunkResult struct {
 		best core.Mapping
 		obj  float64
+		err  error
 	}
 	results := make([]chunkResult, workers)
+	var done atomic.Int64 // samples finished across all chunks
 	var wg sync.WaitGroup
 	base := mc.Samples / workers
 	extra := mc.Samples % workers
@@ -64,32 +81,48 @@ func (mc MonteCarlo) Map(p *core.Problem) (core.Mapping, error) {
 			defer wg.Done()
 			// Derive a distinct stream per chunk; the derivation depends
 			// only on (Seed, w), keeping results reproducible.
-			best, obj := mcChunk(p, count, mc.Seed+uint64(w)*0x9e3779b97f4a7c15)
-			results[w] = chunkResult{best, obj}
+			best, obj, err := mcChunk(ctx, rep, &done, p, count, mc.Samples, mc.Seed+uint64(w)*0x9e3779b97f4a7c15)
+			results[w] = chunkResult{best, obj, err}
 		}(w, count)
 	}
 	wg.Wait()
-	best := results[0]
-	for _, r := range results[1:] {
+	best := chunkResult{}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
 		if r.best != nil && (best.best == nil || r.obj < best.obj) {
 			best = r
 		}
 	}
+	rep.Finish(mc.Samples, mc.Samples)
 	return best.best, nil
 }
 
 // mcChunk evaluates count random mappings from one seed and returns the
-// best with its objective.
-func mcChunk(p *core.Problem, count int, seed uint64) (core.Mapping, float64) {
+// best with its objective. total is the full sample budget across all
+// chunks (for progress); done, when non-nil, is the shared cross-chunk
+// completion counter.
+func mcChunk(ctx context.Context, rep *engine.Reporter, done *atomic.Int64, p *core.Problem, count, total int, seed uint64) (core.Mapping, float64, error) {
 	rng := stats.NewRand(seed)
 	var best core.Mapping
 	bestObj := 0.0
 	for s := 0; s < count; s++ {
+		if s&mcPollMask == mcPollMask {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("montecarlo: interrupted after %d samples: %w", s, err)
+			}
+			if done != nil {
+				rep.Report(int(done.Add(mcPollMask+1)), total)
+			} else {
+				rep.Report(s+1, total)
+			}
+		}
 		m := core.RandomMapping(p.N(), rng)
 		obj := p.MaxAPL(m)
 		if best == nil || obj < bestObj {
 			best, bestObj = m, obj
 		}
 	}
-	return best, bestObj
+	return best, bestObj, nil
 }

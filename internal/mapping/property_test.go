@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -48,7 +49,7 @@ func randomProblem(seed uint64) *core.Problem {
 func TestPropertySSSValidOnRandomInstances(t *testing.T) {
 	f := func(seed uint64) bool {
 		p := randomProblem(seed)
-		m, err := (SortSelectSwap{}).Map(p)
+		m, err := (SortSelectSwap{}).Map(context.Background(), p)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

@@ -1,6 +1,8 @@
 package mapping
 
 import (
+	"context"
+
 	"obm/internal/core"
 	"obm/internal/stats"
 )
@@ -16,7 +18,10 @@ type Random struct {
 func (r Random) Name() string { return "Random" }
 
 // Map implements Mapper.
-func (r Random) Map(p *core.Problem) (core.Mapping, error) {
+func (r Random) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rng := stats.NewRand(r.Seed)
 	return core.RandomMapping(p.N(), rng), nil
 }

@@ -1,10 +1,12 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/mesh"
 )
 
@@ -20,7 +22,11 @@ import (
 // With maxMoves >= N this converges to the same quality as a fresh SSS
 // swap phase; with a small budget it spends the moves where the
 // objective gains most.
-func ImproveWithBudget(p *core.Problem, base core.Mapping, maxMoves int) (core.Mapping, int, error) {
+//
+// Each best-first round is a full O(N * window!) scan, so the loop
+// polls ctx between rounds and between window steps, returning a
+// wrapped ctx.Err() when interrupted.
+func ImproveWithBudget(ctx context.Context, p *core.Problem, base core.Mapping, maxMoves int) (core.Mapping, int, error) {
 	if err := base.Validate(p.N()); err != nil {
 		return nil, 0, fmt.Errorf("refine: %w", err)
 	}
@@ -71,17 +77,25 @@ func ImproveWithBudget(p *core.Problem, base core.Mapping, maxMoves int) (core.M
 	// remaining budget, so a small budget goes to the most valuable
 	// migrations instead of whichever window the sweep meets first.
 	const window = 4
+	rep := engine.StartStage(ctx, "refine")
 	tiles := make([]mesh.Tile, window)
 	threads := make([]int, window)
 	trial := make([]mesh.Tile, window)
 	maxStep := n / window
-	for {
+	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("refine: interrupted in round %d: %w", round+1, err)
+		}
+		rep.Report(len(moved), maxMoves)
 		curObj := tr.maxAPL()
 		bestGain := 0.0
 		var bestThreads [window]int
 		var bestTiles [window]mesh.Tile
 		found := false
 		for step := 1; step <= maxStep; step++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("refine: interrupted at window step %d/%d: %w", step, maxStep, err)
+			}
 			span := (window - 1) * step
 			for i := 0; i+span < n; i++ {
 				for x := 0; x < window; x++ {
@@ -124,5 +138,6 @@ func ImproveWithBudget(p *core.Problem, base core.Mapping, maxMoves int) (core.M
 			}
 		}
 	}
+	rep.Finish(len(moved), maxMoves)
 	return m, len(moved), nil
 }

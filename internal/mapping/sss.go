@@ -1,11 +1,13 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/mesh"
 	"obm/internal/stats"
 )
@@ -108,8 +110,10 @@ func (s SortSelectSwap) Name() string {
 	return name + "]"
 }
 
-// Map implements Mapper.
-func (s SortSelectSwap) Map(p *core.Problem) (core.Mapping, error) {
+// Map implements Mapper. The sliding-window phase (the only
+// super-linear part) polls cancellation between window steps and
+// reports step progress.
+func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	window := s.WindowSize
 	if window == 0 {
 		window = 4
@@ -166,8 +170,13 @@ func (s SortSelectSwap) Map(p *core.Problem) (core.Mapping, error) {
 	}
 	prevObj := math.Inf(1)
 	for pass := 0; pass < passes; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sss: interrupted in pass %d/%d: %w", pass+1, passes, err)
+		}
 		if !s.DisableSwap {
-			s.slideWindows(p, m, sorted, window)
+			if err := s.slideWindows(ctx, p, m, sorted, window); err != nil {
+				return nil, err
+			}
 		}
 		if !s.DisableFinalSAM {
 			for i := 0; i < p.NumApps(); i++ {
@@ -222,8 +231,10 @@ func selectFromSections(list []mesh.Tile, need int, strat SelectStrategy, rng *s
 	return picked, rest, nil
 }
 
-// slideWindows performs the greedy permutation search of step 3 in place.
-func (s SortSelectSwap) slideWindows(p *core.Problem, m core.Mapping, sorted []mesh.Tile, window int) {
+// slideWindows performs the greedy permutation search of step 3 in
+// place, polling cancellation between window steps (each step is a full
+// sweep of the sorted list, i.e. O(N * window!) objective probes).
+func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m core.Mapping, sorted []mesh.Tile, window int) error {
 	n := p.N()
 	tr := newTracker(p, m)
 	inv := m.InverseOn(n) // tile -> thread
@@ -233,10 +244,15 @@ func (s SortSelectSwap) slideWindows(p *core.Problem, m core.Mapping, sorted []m
 	if maxStep <= 0 {
 		maxStep = n / window
 	}
+	rep := engine.StartStage(ctx, s.Name()+"/swap")
 	tiles := make([]mesh.Tile, window)
 	threads := make([]int, window)
 	trial := make([]mesh.Tile, window)
 	for step := 1; step <= maxStep; step++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sss: interrupted at window step %d/%d: %w", step, maxStep, err)
+		}
+		rep.Report(step-1, maxStep)
 		span := (window - 1) * step
 		for i := 0; i+span < n; i++ {
 			for x := 0; x < window; x++ {
@@ -275,6 +291,8 @@ func (s SortSelectSwap) slideWindows(p *core.Problem, m core.Mapping, sorted []m
 			}
 		}
 	}
+	rep.Finish(maxStep, maxStep)
+	return nil
 }
 
 // permutations returns all k! permutations of [0,k) in a deterministic

@@ -1,6 +1,7 @@
 package npc_test
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/npc"
@@ -10,14 +11,14 @@ import (
 // problem and running an exact OBM solver — the Section III.C proof,
 // executed.
 func ExampleDecide() {
-	yes, a1, a2, err := npc.Decide([]float64{1, 2, 3, 4})
+	yes, a1, a2, err := npc.Decide(context.Background(), []float64{1, 2, 3, 4})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("partition exists:", yes)
 	fmt.Println("valid:", npc.Verify([]float64{1, 2, 3, 4}, a1, a2) == nil)
 
-	no, _, _, err := npc.Decide([]float64{10, 1, 1, 1})
+	no, _, _, err := npc.Decide(context.Background(), []float64{10, 1, 1, 1})
 	if err != nil {
 		panic(err)
 	}

@@ -14,6 +14,7 @@
 package npc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,13 +81,13 @@ func Reduce(set []float64) (*Instance, error) {
 // proof). On a yes-instance it returns the two equal-sum index subsets
 // recovered from the optimal mapping (eq. 11). Practical only for
 // small sets — that is the point of an NP-completeness reduction run
-// through an exponential solver.
-func Decide(set []float64) (yes bool, a1, a2 []int, err error) {
+// through an exponential solver; ctx bounds the exponential search.
+func Decide(ctx context.Context, set []float64) (yes bool, a1, a2 []int, err error) {
 	inst, err := Reduce(set)
 	if err != nil {
 		return false, nil, nil, err
 	}
-	m, err := mapping.MapAndCheck(mapping.Exact{}, inst.Problem)
+	m, err := mapping.MapAndCheck(ctx, mapping.Exact{}, inst.Problem)
 	if err != nil {
 		return false, nil, nil, err
 	}

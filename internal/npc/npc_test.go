@@ -1,6 +1,7 @@
 package npc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestDecideYesInstances(t *testing.T) {
 		{2.5, 0.5, 1.5, 1.5},      // fractional rates
 	}
 	for _, set := range yes {
-		ok, a1, a2, err := Decide(set)
+		ok, a1, a2, err := Decide(context.Background(), set)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestDecideNoInstances(t *testing.T) {
 		{8, 1, 1, 1, 1, 2}, // equal-size: {8,x,y} min 10 > half 7
 	}
 	for _, set := range no {
-		ok, _, _, err := Decide(set)
+		ok, _, _, err := Decide(context.Background(), set)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestDecideMatchesBruteForce(t *testing.T) {
 			set[i] = float64(rng.Intn(8))
 		}
 		want := bruteForcePartition(set)
-		got, a1, a2, err := Decide(set)
+		got, a1, a2, err := Decide(context.Background(), set)
 		if err != nil {
 			t.Fatal(err)
 		}

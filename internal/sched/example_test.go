@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/mapping"
@@ -33,7 +34,7 @@ func ExampleRunner_Run() {
 	if err != nil {
 		panic(err)
 	}
-	met, err := r.Run(sc)
+	met, err := r.Run(context.Background(), sc)
 	if err != nil {
 		panic(err)
 	}

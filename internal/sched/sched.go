@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -214,8 +215,10 @@ func (st *liveState) problem(lm *model.LatencyModel) (*core.Problem, core.Mappin
 	return p, m, nil
 }
 
-// Run executes the scenario and returns aggregate metrics.
-func (r *Runner) Run(sc Scenario) (Metrics, error) {
+// Run executes the scenario and returns aggregate metrics. ctx
+// cancels the timeline promptly: it is checked before every event and
+// threaded into each re-solve's mapper.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (Metrics, error) {
 	if err := sc.Validate(); err != nil {
 		return Metrics{}, err
 	}
@@ -250,7 +253,10 @@ func (r *Runner) Run(sc Scenario) (Metrics, error) {
 		return nil
 	}
 
-	for _, e := range sc.Events {
+	for ei, e := range sc.Events {
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, fmt.Errorf("sched: interrupted at event %d/%d: %w", ei, len(sc.Events), err)
+		}
 		if err := measure(e.Time); err != nil {
 			return Metrics{}, err
 		}
@@ -296,9 +302,9 @@ func (r *Runner) Run(sc Scenario) (Metrics, error) {
 				var migs int
 				var err error
 				if r.MigrationBudget > 0 {
-					migs, err = st.remapBudgeted(r.lm, r.MigrationBudget)
+					migs, err = st.remapBudgeted(ctx, r.lm, r.MigrationBudget)
 				} else {
-					migs, err = st.remap(r.lm, r.mapper)
+					migs, err = st.remap(ctx, r.lm, r.mapper)
 				}
 				if err != nil {
 					return Metrics{}, err
@@ -354,12 +360,12 @@ func (st *liveState) placeIncremental(lm *model.LatencyModel, name string) error
 // remapBudgeted refines the live mapping in place, moving at most
 // budget threads (mapping.ImproveWithBudget), and returns the migration
 // count.
-func (st *liveState) remapBudgeted(lm *model.LatencyModel, budget int) (int, error) {
+func (st *liveState) remapBudgeted(ctx context.Context, lm *model.LatencyModel, budget int) (int, error) {
 	p, cur, err := st.problem(lm)
 	if err != nil {
 		return 0, err
 	}
-	nm, moved, err := mapping.ImproveWithBudget(p, cur, budget)
+	nm, moved, err := mapping.ImproveWithBudget(ctx, p, cur, budget)
 	if err != nil {
 		return 0, err
 	}
@@ -390,12 +396,12 @@ func (st *liveState) adopt(lm *model.LatencyModel, nm core.Mapping) {
 // remap re-solves the whole live mapping with the runner's mapper and
 // returns the number of migrated threads (tile changes among
 // applications that existed before the re-solve).
-func (st *liveState) remap(lm *model.LatencyModel, mapper mapping.Mapper) (int, error) {
+func (st *liveState) remap(ctx context.Context, lm *model.LatencyModel, mapper mapping.Mapper) (int, error) {
 	p, _, err := st.problem(lm)
 	if err != nil {
 		return 0, err
 	}
-	nm, err := mapping.MapAndCheck(mapper, p)
+	nm, err := mapping.MapAndCheck(ctx, mapper, p)
 	if err != nil {
 		return 0, err
 	}

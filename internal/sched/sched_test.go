@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"obm/internal/mapping"
@@ -97,7 +98,7 @@ func TestRunBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	met, err := r.Run(fourPhaseScenario())
+	met, err := r.Run(context.Background(), fourPhaseScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,11 +126,11 @@ func TestOnChangeBeatsNever(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mNever, err := never.Run(sc)
+	mNever, err := never.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mChange, err := onchange.Run(sc)
+	mChange, err := onchange.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestPeriodicBetweenExtremes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := r.Run(sc)
+		m, err := r.Run(context.Background(), sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +193,7 @@ func TestOverSubscription(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Run(sc); err == nil {
+	if _, err := r.Run(context.Background(), sc); err == nil {
 		t.Error("over-subscription accepted")
 	}
 }
@@ -203,11 +204,11 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := r.Run(fourPhaseScenario())
+	a, err := r.Run(context.Background(), fourPhaseScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Run(fourPhaseScenario())
+	b, err := r.Run(context.Background(), fourPhaseScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestWhenUnbalancedPolicy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := r.Run(sc)
+		m, err := r.Run(context.Background(), sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -263,7 +264,7 @@ func TestMigrationBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.MigrationBudget = 8
-	met, err := r.Run(sc)
+	met, err := r.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestMigrationBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := never.Run(sc)
+	base, err := never.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestMigrationBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fm, err := full.Run(sc)
+	fm, err := full.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

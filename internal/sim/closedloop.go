@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/cache"
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/mesh"
 	"obm/internal/model"
 	"obm/internal/noc"
@@ -87,7 +89,10 @@ type reqCtx struct {
 // bank misses travel on to the nearest memory controller; replies and
 // coherence forwards flow back. Thread issue rates are weighted by the
 // workload's cache rates so heavy applications stay heavy.
-func CacheDriven(p *core.Problem, m core.Mapping, cfg CacheDrivenConfig) (CacheDrivenResult, error) {
+// Cancellation: the cycle and drain loops poll ctx every
+// simPollMask+1 cycles and return a wrapped ctx.Err() when it fires
+// without perturbing the streams of an uncancelled run.
+func CacheDriven(ctx context.Context, p *core.Problem, m core.Mapping, cfg CacheDrivenConfig) (CacheDrivenResult, error) {
 	if err := m.Validate(p.N()); err != nil {
 		return CacheDrivenResult{}, fmt.Errorf("sim: %w", err)
 	}
@@ -146,7 +151,13 @@ func CacheDriven(p *core.Problem, m core.Mapping, cfg CacheDrivenConfig) (CacheD
 		}
 	}
 	for t := 0; t < n; t++ {
-		l1s[t] = cache.MustNewSetAssoc(ccfg.L1Size, ccfg.L1Ways, ccfg.BlockSize)
+		l1, err := cache.NewSetAssoc(ccfg.L1Size, ccfg.L1Ways, ccfg.BlockSize)
+		if err != nil {
+			// The L1 geometry comes from the caller's CacheDrivenConfig, so
+			// a bad shape is an input error, not an invariant violation.
+			return CacheDrivenResult{}, fmt.Errorf("sim: l1 config: %w", err)
+		}
+		l1s[t] = l1
 		b, err := cache.NewBank(ccfg, t)
 		if err != nil {
 			return CacheDrivenResult{}, err
@@ -325,7 +336,14 @@ func CacheDriven(p *core.Problem, m core.Mapping, cfg CacheDrivenConfig) (CacheD
 		return nil
 	}
 
+	rep := engine.StartStage(ctx, "sim")
 	for cyc := int64(0); cyc < cfg.Cycles; cyc++ {
+		if cyc&simPollMask == simPollMask {
+			if err := ctx.Err(); err != nil {
+				return CacheDrivenResult{}, fmt.Errorf("sim: interrupted after %d/%d cycles: %w", cyc, cfg.Cycles, err)
+			}
+			rep.Report(int(cyc), int(cfg.Cycles))
+		}
 		now := net.Cycle()
 		if err := flush(now); err != nil {
 			return CacheDrivenResult{}, err
@@ -366,6 +384,11 @@ func CacheDriven(p *core.Problem, m core.Mapping, cfg CacheDrivenConfig) (CacheD
 	// Drain outstanding transactions.
 	deadline := net.Cycle() + 500_000
 	for net.Busy() || len(sendAt) > 0 {
+		if net.Cycle()&simPollMask == simPollMask {
+			if err := ctx.Err(); err != nil {
+				return CacheDrivenResult{}, fmt.Errorf("sim: interrupted during drain at cycle %d: %w", net.Cycle(), err)
+			}
+		}
 		if net.Cycle() >= deadline {
 			return CacheDrivenResult{}, fmt.Errorf("sim: closed-loop drain exceeded %d cycles", 500_000)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -40,7 +41,7 @@ func goldenProblem(t *testing.T) (*core.Problem, core.Mapping) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	mp, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func goldenCfg() RateDrivenConfig {
 func TestGoldenRateDriven(t *testing.T) {
 	p, mp := goldenProblem(t)
 
-	r, err := RateDriven(p, mp, goldenCfg())
+	r, err := RateDriven(context.Background(), p, mp, goldenCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestGoldenRateDriven(t *testing.T) {
 	burst := goldenCfg()
 	burst.BurstFactor = 4
 	burst.WarmupCycles = 2000
-	rb, err := RateDriven(p, mp, burst)
+	rb, err := RateDriven(context.Background(), p, mp, burst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestReplicaSeed(t *testing.T) {
 // matter how the workers interleave, and that every index is passed
 // exactly once.
 func TestRunReplicasOrdering(t *testing.T) {
-	out, err := RunReplicas(50, 8, func(i int) (int, error) { return i * i, nil })
+	out, err := RunReplicas(context.Background(), 50, 8, func(_ context.Context, i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRunReplicasOrdering(t *testing.T) {
 			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
 		}
 	}
-	if out, err := RunReplicas[int](0, 4, nil); err != nil || out != nil {
+	if out, err := RunReplicas[int](context.Background(), 0, 4, nil); err != nil || out != nil {
 		t.Fatalf("RunReplicas(0) = %v, %v, want nil, nil", out, err)
 	}
 }
@@ -122,7 +123,7 @@ func TestRunReplicasOrdering(t *testing.T) {
 // the rest still complete.
 func TestRunReplicasErrors(t *testing.T) {
 	bad := errors.New("job 3 failed")
-	out, err := RunReplicas(6, 2, func(i int) (int, error) {
+	out, err := RunReplicas(context.Background(), 6, 2, func(_ context.Context, i int) (int, error) {
 		if i == 3 {
 			return 0, bad
 		}
@@ -145,11 +146,11 @@ func TestRateDrivenReplicasDeterminism(t *testing.T) {
 	cfg := goldenCfg()
 	cfg.MeasureCycles = 5_000
 
-	serial, err := RateDriven(p, mp, cfg)
+	serial, err := RateDriven(context.Background(), p, mp, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := RateDrivenReplicas(p, mp, cfg, 1)
+	one, err := RateDrivenReplicas(context.Background(), p, mp, cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +159,14 @@ func TestRateDrivenReplicasDeterminism(t *testing.T) {
 	}
 
 	const n = 3
-	par, err := RateDrivenReplicas(p, mp, cfg, n)
+	par, err := RateDrivenReplicas(context.Background(), p, mp, cfg, n)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.Seed = ReplicaSeed(cfg.Seed, i)
-		ref, err := RateDriven(p, mp, c)
+		ref, err := RateDriven(context.Background(), p, mp, c)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"obm/internal/core"
+	"obm/internal/engine"
 )
 
 // RunReplicas runs n independent jobs across at most workers goroutines
@@ -15,7 +18,15 @@ import (
 // seeded replicas is the share-nothing decomposition that keeps the
 // parallel run bit-identical to running the same jobs serially. Jobs
 // that fail contribute a zero result; the errors are joined.
-func RunReplicas[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
+//
+// Cancellation: when ctx is done, no further jobs are dispatched and
+// each in-flight job sees the same ctx (jobs are expected to poll it
+// and unwind promptly). Completed replicas are still returned in their
+// slots; the joined error then includes the ctx.Err() so callers can
+// distinguish a cancelled batch from job failures while keeping the
+// partial results. Progress (replicas completed / n) is reported to the
+// context's engine sink, if any.
+func RunReplicas[T any](ctx context.Context, n, workers int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -25,30 +36,55 @@ func RunReplicas[T any](n, workers int, job func(i int) (T, error)) ([]T, error)
 	if workers > n {
 		workers = n
 	}
+	rep := engine.StartStage(ctx, "replicas")
 	out := make([]T, n)
-	errs := make([]error, n)
+	errs := make([]error, n, n+1)
+	dispatched := n
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = job(i)
-		}
-		return out, errors.Join(errs...)
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i], errs[i] = job(i)
+			if ctx.Err() != nil {
+				dispatched = i
+				break
 			}
-		}()
+			out[i], errs[i] = job(ctx, i)
+			rep.Report(i+1, n)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		var done sync.Mutex // guards completed under the progress report
+		completed := 0
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], errs[i] = job(ctx, i)
+					done.Lock()
+					completed++
+					c := completed
+					done.Unlock()
+					rep.Report(c, n)
+				}
+			}()
+		}
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				dispatched = i
+				break dispatch
+			}
+		}
+		close(idx)
+		wg.Wait()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("sim: replicas interrupted after dispatching %d/%d: %w", dispatched, n, err))
+	} else {
+		rep.Finish(n, n)
 	}
-	close(idx)
-	wg.Wait()
 	return out, errors.Join(errs...)
 }
 
@@ -74,10 +110,10 @@ func ReplicaSeed(base uint64, rep int) uint64 {
 // cfg.Seed), spread over the machine's cores. Results come back in
 // replica order regardless of completion order, so downstream
 // aggregation is deterministic.
-func RateDrivenReplicas(p *core.Problem, m core.Mapping, cfg RateDrivenConfig, replicas int) ([]Result, error) {
-	return RunReplicas(replicas, 0, func(i int) (Result, error) {
+func RateDrivenReplicas(ctx context.Context, p *core.Problem, m core.Mapping, cfg RateDrivenConfig, replicas int) ([]Result, error) {
+	return RunReplicas(ctx, replicas, 0, func(ctx context.Context, i int) (Result, error) {
 		c := cfg
 		c.Seed = ReplicaSeed(cfg.Seed, i)
-		return RateDriven(p, m, c)
+		return RateDriven(ctx, p, m, c)
 	})
 }

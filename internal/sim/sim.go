@@ -19,15 +19,22 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/cache"
 	"obm/internal/core"
+	"obm/internal/engine"
 	"obm/internal/mesh"
 	"obm/internal/model"
 	"obm/internal/noc"
 	"obm/internal/stats"
 )
+
+// simPollMask sets how often the cycle loops poll cancellation (every
+// simPollMask+1 cycles — cheap relative to a network step, fine-grained
+// enough that a cancelled simulation unwinds within microseconds).
+const simPollMask = 4095
 
 // CyclesPerRateUnit converts the paper's request rates (requests per
 // microsecond at the 2 GHz clock of Table 2) into per-cycle injection
@@ -117,7 +124,11 @@ func DefaultRateDrivenConfig() RateDrivenConfig {
 // reply after the 128-cycle memory latency. Both directions are
 // attributed to the thread's application, matching the paper's
 // per-application APL accounting.
-func RateDriven(p *core.Problem, m core.Mapping, cfg RateDrivenConfig) (Result, error) {
+// Cancellation: the cycle and drain loops poll ctx every
+// simPollMask+1 cycles and return a wrapped ctx.Err() when it fires;
+// the polls never touch the injector's random stream, so an
+// uncancelled run is bit-identical for any context.
+func RateDriven(ctx context.Context, p *core.Problem, m core.Mapping, cfg RateDrivenConfig) (Result, error) {
 	if err := m.Validate(p.N()); err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
@@ -212,8 +223,15 @@ func RateDriven(p *core.Problem, m core.Mapping, cfg RateDrivenConfig) (Result, 
 		}
 	}
 
+	rep := engine.StartStage(ctx, "sim")
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	for cyc := int64(0); cyc < total; cyc++ {
+		if cyc&simPollMask == simPollMask {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: interrupted after %d/%d cycles: %w", cyc, total, err)
+			}
+			rep.Report(int(cyc), int(total))
+		}
 		if cyc == cfg.WarmupCycles && cyc > 0 {
 			net.ResetStats()
 		}
@@ -264,6 +282,11 @@ func RateDriven(p *core.Problem, m core.Mapping, cfg RateDrivenConfig) (Result, 
 	}
 	deadline := net.Cycle() + drain
 	for net.Busy() || len(replies) > 0 {
+		if net.Cycle()&simPollMask == simPollMask {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: interrupted during drain at cycle %d: %w", net.Cycle(), err)
+			}
+		}
 		if net.Cycle() >= deadline {
 			return Result{}, fmt.Errorf("sim: network failed to drain within %d cycles", drain)
 		}

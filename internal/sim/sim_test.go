@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,20 +27,20 @@ func shortRateConfig() RateDrivenConfig {
 func TestRateDrivenValidation(t *testing.T) {
 	p := paperProblem(t, "C1")
 	bad := make(core.Mapping, 3)
-	if _, err := RateDriven(p, bad, shortRateConfig()); err == nil {
+	if _, err := RateDriven(context.Background(), p, bad, shortRateConfig()); err == nil {
 		t.Error("invalid mapping accepted")
 	}
 	m := core.IdentityMapping(p.N())
 	cfg := shortRateConfig()
 	cfg.MeasureCycles = 0
-	if _, err := RateDriven(p, m, cfg); err == nil {
+	if _, err := RateDriven(context.Background(), p, m, cfg); err == nil {
 		t.Error("zero window accepted")
 	}
 	cfg = shortRateConfig()
 	cfg.Noc.Rows, cfg.Noc.Cols = 4, 4
 	cfg.Noc.VCsPerClass, cfg.Noc.BufDepth = 1, 1
 	cfg.Noc.RouterLatency, cfg.Noc.LinkLatency = 1, 1
-	if _, err := RateDriven(p, m, cfg); err == nil {
+	if _, err := RateDriven(context.Background(), p, m, cfg); err == nil {
 		t.Error("mesh size mismatch accepted")
 	}
 }
@@ -52,11 +53,11 @@ func TestRateDrivenMatchesAnalyticModel(t *testing.T) {
 		t.Skip("simulation too slow for -short")
 	}
 	p := paperProblem(t, "C1")
-	m, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	m, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RateDriven(p, m, DefaultRateDrivenConfig())
+	res, err := RateDriven(context.Background(), p, m, DefaultRateDrivenConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestRateDrivenQueuingSmall(t *testing.T) {
 		t.Skip("simulation too slow for -short")
 	}
 	p := paperProblem(t, "C4") // the heaviest-rate configuration
-	m, err := mapping.MapAndCheck(mapping.Global{}, p)
+	m, err := mapping.MapAndCheck(context.Background(), mapping.Global{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RateDriven(p, m, shortRateConfig())
+	res, err := RateDriven(context.Background(), p, m, shortRateConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,20 +103,20 @@ func TestRateDrivenOrderingSSSvsGlobal(t *testing.T) {
 		t.Skip("simulation too slow for -short")
 	}
 	p := paperProblem(t, "C6")
-	gm, err := mapping.MapAndCheck(mapping.Global{}, p)
+	gm, err := mapping.MapAndCheck(context.Background(), mapping.Global{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sm, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	sm, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := DefaultRateDrivenConfig()
-	gRes, err := RateDriven(p, gm, cfg)
+	gRes, err := RateDriven(context.Background(), p, gm, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sRes, err := RateDriven(p, sm, cfg)
+	sRes, err := RateDriven(context.Background(), p, sm, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestRateDrivenDeterminism(t *testing.T) {
 	p := paperProblem(t, "C2")
 	m := core.IdentityMapping(p.N())
 	cfg := shortRateConfig()
-	a, err := RateDriven(p, m, cfg)
+	a, err := RateDriven(context.Background(), p, m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RateDriven(p, m, cfg)
+	b, err := RateDriven(context.Background(), p, m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRateDrivenDeterminism(t *testing.T) {
 func TestRateDrivenConservation(t *testing.T) {
 	p := paperProblem(t, "C3")
 	m := core.IdentityMapping(p.N())
-	res, err := RateDriven(p, m, shortRateConfig())
+	res, err := RateDriven(context.Background(), p, m, shortRateConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,12 +171,12 @@ func TestRateDrivenConservation(t *testing.T) {
 func TestCacheDrivenValidation(t *testing.T) {
 	p := paperProblem(t, "C1")
 	bad := make(core.Mapping, 2)
-	if _, err := CacheDriven(p, bad, DefaultCacheDrivenConfig()); err == nil {
+	if _, err := CacheDriven(context.Background(), p, bad, DefaultCacheDrivenConfig()); err == nil {
 		t.Error("invalid mapping accepted")
 	}
 	cfg := DefaultCacheDrivenConfig()
 	cfg.Cycles = 0
-	if _, err := CacheDriven(p, core.IdentityMapping(p.N()), cfg); err == nil {
+	if _, err := CacheDriven(context.Background(), p, core.IdentityMapping(p.N()), cfg); err == nil {
 		t.Error("zero cycles accepted")
 	}
 }
@@ -185,13 +186,13 @@ func TestCacheDrivenEndToEnd(t *testing.T) {
 		t.Skip("simulation too slow for -short")
 	}
 	p := paperProblem(t, "C1")
-	m, err := mapping.MapAndCheck(mapping.SortSelectSwap{}, p)
+	m, err := mapping.MapAndCheck(context.Background(), mapping.SortSelectSwap{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := DefaultCacheDrivenConfig()
 	cfg.Cycles = 40_000
-	res, err := CacheDriven(p, m, cfg)
+	res, err := CacheDriven(context.Background(), p, m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestCacheDrivenCoherenceTraffic(t *testing.T) {
 	m := core.IdentityMapping(p.N())
 	scfg := DefaultCacheDrivenConfig()
 	scfg.Cycles = 40_000
-	res, err := CacheDriven(p, m, scfg)
+	res, err := CacheDriven(context.Background(), p, m, scfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,11 +254,11 @@ func TestRateDrivenWarmupResetsStats(t *testing.T) {
 	cold := shortRateConfig()
 	warm := cold
 	warm.WarmupCycles = 20_000
-	a, err := RateDriven(p, m, cold)
+	a, err := RateDriven(context.Background(), p, m, cold)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RateDriven(p, m, warm)
+	b, err := RateDriven(context.Background(), p, m, warm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestCacheDrivenWritebacks(t *testing.T) {
 	m := core.IdentityMapping(p.N())
 	cfg := DefaultCacheDrivenConfig()
 	cfg.Cycles = 40_000
-	res, err := CacheDriven(p, m, cfg)
+	res, err := CacheDriven(context.Background(), p, m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,13 +306,13 @@ func TestRateDrivenBursty(t *testing.T) {
 	m := core.IdentityMapping(p.N())
 	cfg := DefaultRateDrivenConfig()
 	cfg.MeasureCycles = 120_000
-	smooth, err := RateDriven(p, m, cfg)
+	smooth, err := RateDriven(context.Background(), p, m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.BurstFactor = 8
 	cfg.BurstLen = 300
-	bursty, err := RateDriven(p, m, cfg)
+	bursty, err := RateDriven(context.Background(), p, m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
