@@ -10,14 +10,16 @@
 //	obmsim -exp all -timeout 2m -progress # bounded run with a stderr ticker
 //
 // Each experiment prints a paper-style table or grid; -csv additionally
-// writes machine-readable output. The whole run is cancellable: SIGINT
-// or SIGTERM (or -timeout expiry) stops the in-flight experiment
-// promptly, keeps everything already printed, and exits non-zero with a
-// note on how far the batch got.
+// writes machine-readable output, and -json / -jsondir write the typed
+// result documents (schema obmsim.result/v1). The whole run is
+// cancellable: SIGINT or SIGTERM (or -timeout expiry) stops the
+// in-flight experiment promptly, keeps everything already printed, and
+// exits non-zero with a note on how far the batch got.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +34,7 @@ import (
 
 	"obm/internal/engine"
 	"obm/internal/experiments"
+	"obm/internal/scenario"
 )
 
 func main() {
@@ -54,6 +57,12 @@ type progressSink struct {
 func (s *progressSink) Event(p engine.Progress) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if p.Skipped {
+		// Cache hits are rare, cheap, and the run's main observability
+		// signal, so they bypass the spacing throttle.
+		fmt.Fprintf(s.w, "progress: %s skipped (cache hit)\n", p.Stage)
+		return
+	}
 	now := time.Now()
 	if now.Sub(s.last) < 250*time.Millisecond {
 		return
@@ -81,6 +90,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		svgDir   = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
 		progress = fs.Bool("progress", false, "print throttled progress events to stderr")
+		jsonPath = fs.String("json", "", "write all results as one JSON document to this file")
+		jsonDir  = fs.String("jsondir", "", "write each experiment's JSON document to <dir>/<id>.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -134,7 +145,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	// OnResult streams each experiment's output as soon as it finishes,
 	// so an interrupted batch still shows everything that completed.
+	type jsonEntry struct {
+		ID     string          `json:"id"`
+		Title  string          `json:"title"`
+		Result json.RawMessage `json:"result"`
+	}
 	var csv strings.Builder
+	var jsonEntries []jsonEntry
 	printed := 0
 	var writeErr error
 	eng := engine.Runner{
@@ -153,6 +170,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if *csvPath != "" {
 				fmt.Fprintf(&csv, "# %s: %s\n%s", res.Name, titles[res.Name], r.CSV())
 			}
+			if *jsonPath != "" || *jsonDir != "" {
+				raw, jerr := r.JSON()
+				if jerr != nil {
+					writeErr = fmt.Errorf("encoding %s result: %w", res.Name, jerr)
+					return
+				}
+				if *jsonPath != "" {
+					jsonEntries = append(jsonEntries, jsonEntry{ID: res.Name, Title: titles[res.Name], Result: raw})
+				}
+				if *jsonDir != "" {
+					writeErr = writeJSONArtifact(stdout, *jsonDir, res.Name, raw)
+					if writeErr != nil {
+						return
+					}
+				}
+			}
 			if *svgDir != "" {
 				if fig, ok := r.(experiments.Figurer); ok {
 					writeErr = writeSVGs(stdout, *svgDir, fig)
@@ -165,12 +198,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	results, err := eng.Run(ctx, jobs)
+	if *progress {
+		hits, misses := scenario.Shared().Stats()
+		fmt.Fprintf(stderr, "obmsim: mapper artifact cache: %d computed, %d served from cache\n", misses, hits)
+	}
 	if *csvPath != "" && csv.Len() > 0 {
 		if werr := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); werr != nil {
 			fmt.Fprintln(stderr, "obmsim: writing csv:", werr)
 			return 1
 		}
 		fmt.Fprintf(stdout, "CSV written to %s\n", *csvPath)
+	}
+	if *jsonPath != "" && len(jsonEntries) > 0 && writeErr == nil {
+		doc, merr := json.MarshalIndent(struct {
+			Schema      string      `json:"schema"`
+			Experiments []jsonEntry `json:"experiments"`
+		}{Schema: "obmsim.run/v1", Experiments: jsonEntries}, "", "  ")
+		if merr != nil {
+			fmt.Fprintln(stderr, "obmsim: encoding json:", merr)
+			return 1
+		}
+		if werr := os.WriteFile(*jsonPath, append(doc, '\n'), 0o644); werr != nil {
+			fmt.Fprintln(stderr, "obmsim: writing json:", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "JSON written to %s\n", *jsonPath)
 	}
 	if writeErr != nil {
 		fmt.Fprintln(stderr, "obmsim:", writeErr)
@@ -191,6 +243,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeJSONArtifact writes one experiment's JSON document to
+// dir/<id>.json.
+func writeJSONArtifact(stdout io.Writer, dir, id string, raw []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
 }
 
 // writeSVGs writes every figure of fig into dir.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -149,6 +150,85 @@ func TestCancelStopsPromptlyWithoutLeaks(t *testing.T) {
 	t.Errorf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
 }
 
+// TestExpCommaList runs an explicit comma-separated -exp list (with
+// whitespace) and checks every named experiment appears, in order.
+func TestExpCommaList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "fig5, table3", "-quick"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	i5 := strings.Index(out, "[fig5 in ")
+	i3 := strings.Index(out, "[table3 in ")
+	if i5 < 0 || i3 < 0 {
+		t.Fatalf("comma list did not run both experiments: %q", out)
+	}
+	if i5 > i3 {
+		t.Error("experiments should run in the order listed")
+	}
+	// A list with an unknown member fails fast before any work.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-exp", "fig5,nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown member of comma list: exit %d, want 2", code)
+	}
+}
+
+// TestJSONOutput checks -json writes a combined document and -jsondir a
+// per-experiment file, both valid JSON carrying the schema tags.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	combined := filepath.Join(dir, "run.json")
+	perExp := filepath.Join(dir, "json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-exp", "fig5,table3", "-quick", "-json", combined, "-jsondir", perExp}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+
+	data, err := os.ReadFile(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema      string `json:"schema"`
+		Experiments []struct {
+			ID     string          `json:"id"`
+			Title  string          `json:"title"`
+			Result json.RawMessage `json:"result"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("combined output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "obmsim.run/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Experiments) != 2 || doc.Experiments[0].ID != "fig5" || doc.Experiments[1].ID != "table3" {
+		t.Fatalf("experiments = %+v", doc.Experiments)
+	}
+	for _, e := range doc.Experiments {
+		var inner struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(e.Result, &inner); err != nil {
+			t.Fatalf("%s result invalid: %v", e.ID, err)
+		}
+		if e.Title == "" {
+			t.Errorf("%s missing title", e.ID)
+		}
+		raw, err := os.ReadFile(filepath.Join(perExp, e.ID+".json"))
+		if err != nil {
+			t.Fatalf("per-experiment artifact: %v", err)
+		}
+		if !json.Valid(raw) {
+			t.Errorf("%s.json is not valid JSON", e.ID)
+		}
+	}
+}
+
 // TestProgressFlag checks the stderr ticker emits events during a run.
 func TestProgressFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -158,5 +238,8 @@ func TestProgressFlag(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "progress:") {
 		t.Errorf("no progress events on stderr: %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "mapper artifact cache:") {
+		t.Errorf("no cache stats summary on stderr: %q", stderr.String())
 	}
 }

@@ -6,7 +6,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
 
 	"obm/internal/mesh"
 	"obm/internal/model"
@@ -33,6 +37,11 @@ type Problem struct {
 	appOf      []int     // thread -> application index
 	appWeight  []float64 // per-application sum of (c_j+m_j)
 	totalRate  float64   // sum over all threads of (c_j+m_j)
+
+	// fingerprint caches Fingerprint()'s content hash (computed once;
+	// Problems are immutable after construction).
+	fpOnce sync.Once
+	fp     string
 }
 
 // NewProblem validates and builds an OBM instance. The workload thread
@@ -147,4 +156,42 @@ func (p *Problem) TotalRate() float64 { return p.totalRate }
 // when placed on slot t: c_j*TC + m_j*TM of the slot's tile (eq. 13).
 func (p *Problem) ThreadCost(j int, t mesh.Tile) float64 {
 	return p.lm.Cost(p.cache[j], p.mem[j], mesh.Tile(int(t)/p.capacity))
+}
+
+// Fingerprint returns a stable content key for the instance: two
+// Problems with the same mesh geometry, capacity, per-tile latencies,
+// thread rates, and application boundaries share a fingerprint even
+// when built independently. The scenario artifact cache keys shared
+// mapper invocations on it, so the hash covers everything a Mapper or
+// Evaluate can observe and nothing else (names and construction order
+// do not matter). Computed once and cached; Problems are immutable.
+func (p *Problem) Fingerprint() string {
+	p.fpOnce.Do(func() {
+		h := fnv.New64a()
+		buf := make([]byte, 8)
+		wu := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf, v)
+			h.Write(buf)
+		}
+		wf := func(v float64) { wu(math.Float64bits(v)) }
+		msh := p.lm.Mesh()
+		wu(uint64(msh.Rows()))
+		wu(uint64(msh.Cols()))
+		wu(uint64(p.capacity))
+		for _, v := range p.lm.TCArray() {
+			wf(v)
+		}
+		for _, v := range p.lm.TMArray() {
+			wf(v)
+		}
+		for j := range p.cache {
+			wf(p.cache[j])
+			wf(p.mem[j])
+		}
+		for _, b := range p.boundaries {
+			wu(uint64(b))
+		}
+		p.fp = fmt.Sprintf("p%dx%dc%d-%016x", msh.Rows(), msh.Cols(), p.capacity, h.Sum64())
+	})
+	return p.fp
 }

@@ -35,6 +35,21 @@ type Progress struct {
 	Done, Total int
 	// Elapsed is the time since the stage started.
 	Elapsed time.Duration
+	// Skipped marks a stage whose work was served from a cache (the
+	// scenario artifact cache emits one such event per hit) rather than
+	// recomputed. Observers can count hits or render the stage as
+	// skipped; Done/Total are 1/1.
+	Skipped bool
+}
+
+// ReportSkipped emits one unthrottled Progress event marking stage as
+// skipped (served from cache) to the sink carried by ctx, if any.
+func ReportSkipped(ctx context.Context, stage string) {
+	s := SinkOf(ctx)
+	if s == nil {
+		return
+	}
+	s.Event(Progress{Stage: stage, Done: 1, Total: 1, Skipped: true})
 }
 
 // Sink receives progress events. Implementations must be safe for

@@ -18,6 +18,7 @@ import (
 	"obm/internal/mapping"
 	"obm/internal/mesh"
 	"obm/internal/model"
+	"obm/internal/scenario"
 	"obm/internal/workload"
 )
 
@@ -52,43 +53,16 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// RandomDraws returns the number of random mappings averaged for
-// random-baseline columns (the paper uses >10^4).
-func (o Options) RandomDraws() int {
-	if o.Quick {
-		return 500
+// Spec resolves the options into a declarative scenario.Spec: the
+// configuration list (def when o.Configs is empty), the quick or full
+// budgets, and the base seed. It fails fast on unknown configuration
+// names. Every runner starts by calling this.
+func (o Options) Spec(def ...string) (scenario.Spec, error) {
+	cfgs, err := configsOrDefault(o, def)
+	if err != nil {
+		return scenario.Spec{}, err
 	}
-	return 10_000
-}
-
-// MCSamples returns the Monte-Carlo sample budget (paper: 10^4).
-func (o Options) MCSamples() int {
-	if o.Quick {
-		return 1_000
-	}
-	return 10_000
-}
-
-// SimReplicas returns the number of independent seeded simulator
-// replicas that measurement experiments average (sharded across cores
-// by sim.RunReplicas; replica 0 reuses the base seed, so a one-replica
-// run reproduces the pre-replication output exactly). Quick keeps a
-// single replica so -short test output and runtime are unchanged.
-func (o Options) SimReplicas() int {
-	if o.Quick {
-		return 1
-	}
-	return 3
-}
-
-// SAIters returns the simulated-annealing iteration budget used where
-// the paper gives SA "similar runtime" to SSS; 18k iterations matches
-// SSS wall time on the reference machine (see EXPERIMENTS.md).
-func (o Options) SAIters() int {
-	if o.Quick {
-		return 5_000
-	}
-	return 18_000
+	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed}, nil
 }
 
 // Result is what every experiment returns.
@@ -97,6 +71,10 @@ type Result interface {
 	Render() string
 	// CSV returns a machine-readable form (header row first).
 	CSV() string
+	// JSON returns the machine-readable Document form (schema
+	// SchemaVersion), derived from the same typed blocks as Render and
+	// CSV.
+	JSON() ([]byte, error)
 }
 
 // Runner regenerates one table or figure.
@@ -177,15 +155,14 @@ func configsOrDefault(o Options, def []string) ([]string, error) {
 	return def, nil
 }
 
-// standardMappers returns the paper's four comparison algorithms with
-// the budgets of Section V.A.
-func standardMappers(o Options) []mapping.Mapper {
-	return []mapping.Mapper{
-		mapping.Global{},
-		mapping.MonteCarlo{Samples: o.MCSamples(), Seed: o.Seed + 1},
-		mapping.Annealing{Iters: o.SAIters(), Seed: o.Seed + 2},
-		mapping.SortSelectSwap{},
-	}
+// mapEval runs mapper m on p through the process-wide scenario cache:
+// each distinct (problem, mapper) artifact is computed once per run and
+// shared by every experiment that asks for it; hits surface as skipped
+// stages on the progress sink. Runners that measure mapper wall time
+// (ext_ablation, ext_scaling) bypass this and call mapping.MapAndCheck
+// directly, so timing is always of real work.
+func mapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
+	return scenario.Shared().MapEval(ctx, p, m)
 }
 
 // parallelConfigs runs fn once per configuration concurrently — each

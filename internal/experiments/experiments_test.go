@@ -273,13 +273,30 @@ func TestRenderHelpers(t *testing.T) {
 	}
 }
 
-func TestOptionsBudgets(t *testing.T) {
-	q := Options{Quick: true}
-	f := Options{}
-	if !(q.RandomDraws() < f.RandomDraws()) || !(q.MCSamples() < f.MCSamples()) || !(q.SAIters() < f.SAIters()) {
+func TestOptionsSpec(t *testing.T) {
+	q, err := Options{Quick: true}.Spec("C1", "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Options{}.Spec("C1", "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q.Budget.RandomDraws < f.Budget.RandomDraws) || !(q.Budget.MCSamples < f.Budget.MCSamples) || !(q.Budget.SAIters < f.Budget.SAIters) {
 		t.Error("quick budgets should be smaller")
 	}
-	if f.MCSamples() != 10_000 {
-		t.Errorf("full MC budget %d, paper uses 10^4", f.MCSamples())
+	if f.Budget.MCSamples != 10_000 {
+		t.Errorf("full MC budget %d, paper uses 10^4", f.Budget.MCSamples)
+	}
+	if len(f.Configs) != 2 || f.Configs[0] != "C1" {
+		t.Errorf("spec should carry the default configs, got %v", f.Configs)
+	}
+	// Explicit configs override the defaults; unknown names fail fast.
+	ov, err := Options{Configs: []string{"C5"}}.Spec("C1")
+	if err != nil || len(ov.Configs) != 1 || ov.Configs[0] != "C5" {
+		t.Errorf("explicit configs should win: %v, %v", ov.Configs, err)
+	}
+	if _, err := (Options{Configs: []string{"nope"}}).Spec("C1"); err == nil {
+		t.Error("unknown config accepted")
 	}
 }

@@ -36,23 +36,24 @@ type AblationResult struct {
 }
 
 func (a extAblation) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
+	cfgs := sp.Configs
 	variants := []mapping.Mapper{
 		mapping.SortSelectSwap{},
 		mapping.SortSelectSwap{DisableSwap: true},
 		mapping.SortSelectSwap{DisableFinalSAM: true},
 		mapping.SortSelectSwap{DisableSwap: true, DisableFinalSAM: true},
 		mapping.SortSelectSwap{Select: mapping.SelectFirst},
-		mapping.SortSelectSwap{Select: mapping.SelectRandom, Seed: o.Seed + 31},
+		mapping.SortSelectSwap{Select: mapping.SelectRandom, Seed: sp.Seed + 31},
 		mapping.SortSelectSwap{WindowSize: 2},
 		mapping.SortSelectSwap{WindowSize: 3},
 		mapping.SortSelectSwap{MaxStep: 1},
 		mapping.SortSelectSwap{Passes: 5},
 		mapping.BalancedGreedy{},
-		mapping.ClusterSA{Seed: o.Seed + 32},
+		mapping.ClusterSA{Seed: sp.Seed + 32},
 	}
 	res := &AblationResult{}
 	for _, m := range variants {
@@ -63,6 +64,8 @@ func (a extAblation) Run(ctx context.Context, o Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Deliberately bypasses the scenario cache: the runtime column
+			// must time real mapper work, not cache lookups.
 			mp, err := mapping.MapAndCheck(ctx, m, p)
 			if err != nil {
 				return nil, err
@@ -82,7 +85,7 @@ func (a extAblation) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *AblationResult) table() *table {
+func (r *AblationResult) table() *Table {
 	t := newTable("SSS ablations (averages over configurations)",
 		"Variant", "max-APL", "dev-APL", "g-APL", "runtime")
 	for _, row := range r.Rows {
@@ -95,13 +98,18 @@ func (r *AblationResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *AblationResult) Render() string {
-	return r.table().Render() +
-		"\n(select-only = coarse tuning; the sliding-window swap phase buys most of\n" +
-		" the dev-APL reduction and full step range matters more than window size;\n" +
-		" selection strategy within sections is a second-order effect)\n"
+func (r *AblationResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(select-only = coarse tuning; the sliding-window swap phase buys most of\n" +
+			" the dev-APL reduction and full step range matters more than window size;\n" +
+			" selection strategy within sections is a second-order effect)\n"))
 }
 
+// Render implements Result.
+func (r *AblationResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *AblationResult) CSV() string { return r.table().CSV() }
+func (r *AblationResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *AblationResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -37,23 +37,24 @@ type BurstResult struct {
 }
 
 func (e extBurst) Run(ctx context.Context, o Options) (Result, error) {
-	cfgName := "C4" // heaviest rates: burstiness bites hardest
-	if len(o.Configs) > 0 {
-		cfgName = o.Configs[0]
+	sp, err := o.Spec("C4") // heaviest rates: burstiness bites hardest
+	if err != nil {
+		return nil, err
 	}
+	cfgName := sp.Configs[0]
 	p, err := problemFor(cfgName)
 	if err != nil {
 		return nil, err
 	}
 	scfg := sim.DefaultRateDrivenConfig()
-	scfg.Seed = o.Seed + 81
+	scfg.Seed = sp.Seed + 81
 	if o.Quick {
 		scfg.MeasureCycles = 60_000
 	}
 	res := &BurstResult{Config: cfgName}
 	for _, factor := range []float64{1, 4, 12} {
 		for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			mp, _, err := mapEval(ctx, p, m)
 			if err != nil {
 				return nil, err
 			}
@@ -73,7 +74,7 @@ func (e extBurst) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *BurstResult) table() *table {
+func (r *BurstResult) table() *Table {
 	t := newTable(fmt.Sprintf("Measured balance under bursty injection (%s)", r.Config),
 		"Burst factor", "Mapper", "max-APL", "dev-APL", "queuing/hop")
 	for _, row := range r.Rows {
@@ -85,12 +86,17 @@ func (r *BurstResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *BurstResult) Render() string {
-	return r.table().Render() +
-		"\n(burstiness raises queuing for everyone; SSS keeps its max-APL and\n" +
-		" dev-APL advantage because the imbalance is geometric, not load-borne)\n"
+func (r *BurstResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(burstiness raises queuing for everyone; SSS keeps its max-APL and\n" +
+			" dev-APL advantage because the imbalance is geometric, not load-borne)\n"))
 }
 
+// Render implements Result.
+func (r *BurstResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *BurstResult) CSV() string { return r.table().CSV() }
+func (r *BurstResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *BurstResult) JSON() ([]byte, error) { return r.doc().JSON() }

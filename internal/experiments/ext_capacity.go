@@ -41,6 +41,10 @@ type CapacityResult struct {
 }
 
 func (e extCapacity) Run(ctx context.Context, o Options) (Result, error) {
+	sp, err := o.Spec()
+	if err != nil {
+		return nil, err
+	}
 	lm, err := model.New(mesh.MustNew(8, 8), model.DefaultParams())
 	if err != nil {
 		return nil, err
@@ -62,8 +66,8 @@ func (e extCapacity) Run(ctx context.Context, o Options) (Result, error) {
 		Apps: p.NumApps(), Threads: p.N(),
 		Tiles: lm.NumTiles(), Capacity: p.Capacity(),
 	}
-	rng := stats.NewRand(o.Seed + 71)
-	draws := o.RandomDraws() / 10
+	rng := stats.NewRand(sp.Seed + 71)
+	draws := sp.Budget.RandomDraws / 10
 	if draws < 100 {
 		draws = 100
 	}
@@ -77,15 +81,14 @@ func (e extCapacity) Run(ctx context.Context, o Options) (Result, error) {
 
 	for _, m := range []mapping.Mapper{
 		mapping.Global{},
-		mapping.MonteCarlo{Samples: o.MCSamples(), Seed: o.Seed + 72},
-		mapping.Annealing{Iters: o.SAIters(), Seed: o.Seed + 73},
+		mapping.MonteCarlo{Samples: sp.Budget.MCSamples, Seed: sp.Seed + 72},
+		mapping.Annealing{Iters: sp.Budget.SAIters, Seed: sp.Seed + 73},
 		mapping.SortSelectSwap{},
 	} {
-		mp, err := mapping.MapAndCheck(ctx, m, p)
+		_, ev, err := mapEval(ctx, p, m)
 		if err != nil {
 			return nil, err
 		}
-		ev := p.Evaluate(mp)
 		res.Rows = append(res.Rows, CapacityRow{
 			Mapper: shortName(m), MaxAPL: ev.MaxAPL, DevAPL: ev.DevAPL, GAPL: ev.GlobalAPL,
 		})
@@ -93,7 +96,7 @@ func (e extCapacity) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *CapacityResult) table() *table {
+func (r *CapacityResult) table() *Table {
 	t := newTable(fmt.Sprintf("%d applications, %d threads on %d tiles (capacity %d)",
 		r.Apps, r.Threads, r.Tiles, r.Capacity),
 		"Mapper", "max-APL", "dev-APL", "g-APL")
@@ -107,12 +110,17 @@ func (r *CapacityResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *CapacityResult) Render() string {
-	return r.table().Render() +
-		"\n(slots generalize tiles: with 2 threads per tile the same algorithms\n" +
-		" balance 8 applications on one chip; SSS keeps its advantage)\n"
+func (r *CapacityResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(slots generalize tiles: with 2 threads per tile the same algorithms\n" +
+			" balance 8 applications on one chip; SSS keeps its advantage)\n"))
 }
 
+// Render implements Result.
+func (r *CapacityResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *CapacityResult) CSV() string { return r.table().CSV() }
+func (r *CapacityResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *CapacityResult) JSON() ([]byte, error) { return r.doc().JSON() }

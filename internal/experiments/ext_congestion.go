@@ -39,22 +39,23 @@ type CongestionResult struct {
 }
 
 func (e extCongestion) Run(ctx context.Context, o Options) (Result, error) {
-	cfgName := "C4"
-	if len(o.Configs) > 0 {
-		cfgName = o.Configs[0]
+	sp, err := o.Spec("C4")
+	if err != nil {
+		return nil, err
 	}
+	cfgName := sp.Configs[0]
 	p, err := problemFor(cfgName)
 	if err != nil {
 		return nil, err
 	}
 	scfg := sim.DefaultRateDrivenConfig()
-	scfg.Seed = o.Seed + 91
+	scfg.Seed = sp.Seed + 91
 	if o.Quick {
 		scfg.MeasureCycles = 60_000
 	}
 	res := &CongestionResult{Config: cfgName}
 	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-		mp, err := mapping.MapAndCheck(ctx, m, p)
+		mp, _, err := mapEval(ctx, p, m)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +85,7 @@ func (e extCongestion) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *CongestionResult) table() *table {
+func (r *CongestionResult) table() *Table {
 	t := newTable(fmt.Sprintf("Link-load profile on %s (flits/cycle per link, measured)", r.Config),
 		"Mapper", "hottest link", "mean", "std", "CoV", "hot tile")
 	for _, row := range r.Rows {
@@ -102,13 +103,18 @@ func (r *CongestionResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *CongestionResult) Render() string {
-	return r.table().Render() +
-		"\n(balancing adds a few percent more flit-hops in total — the g-APL\n" +
-		" overhead — but flattens the profile in relative terms: the link-load\n" +
-		" coefficient of variation drops, so no region monopolizes bandwidth)\n"
+func (r *CongestionResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(balancing adds a few percent more flit-hops in total — the g-APL\n" +
+			" overhead — but flattens the profile in relative terms: the link-load\n" +
+			" coefficient of variation drops, so no region monopolizes bandwidth)\n"))
 }
 
+// Render implements Result.
+func (r *CongestionResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *CongestionResult) CSV() string { return r.table().CSV() }
+func (r *CongestionResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *CongestionResult) JSON() ([]byte, error) { return r.doc().JSON() }

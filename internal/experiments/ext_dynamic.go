@@ -134,7 +134,7 @@ func (e extDynamic) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *DynamicResult) table() *table {
+func (r *DynamicResult) table() *Table {
 	t := newTable("Remapping policies under application churn (time-weighted)",
 		"Policy", "max-APL", "dev-APL", "remaps", "migrations")
 	for _, row := range r.Rows {
@@ -147,14 +147,19 @@ func (r *DynamicResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *DynamicResult) Render() string {
-	return r.table().Render() +
-		"\n(remap-on-change sustains balance through churn at the highest migration\n" +
-		" cost; capping each remap at 16 best-first migrations keeps the same\n" +
-		" balance for a third of the moves; the adaptive dev-threshold policy\n" +
-		" remaps rarely; blind periodic remaps help little; never drifts)\n"
+func (r *DynamicResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(remap-on-change sustains balance through churn at the highest migration\n" +
+			" cost; capping each remap at 16 best-first migrations keeps the same\n" +
+			" balance for a third of the moves; the adaptive dev-threshold policy\n" +
+			" remaps rarely; blind periodic remaps help little; never drifts)\n"))
 }
 
+// Render implements Result.
+func (r *DynamicResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *DynamicResult) CSV() string { return r.table().CSV() }
+func (r *DynamicResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *DynamicResult) JSON() ([]byte, error) { return r.doc().JSON() }

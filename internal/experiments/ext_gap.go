@@ -31,14 +31,15 @@ type GapResult struct {
 }
 
 func (g extGap) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
-	mappers := append(standardMappers(o),
+	cfgs := sp.Configs
+	mappers := append(sp.StandardMappers(),
 		mapping.Greedy{},
 		mapping.BalancedGreedy{},
-		mapping.ClusterSA{Seed: o.Seed + 21},
+		mapping.ClusterSA{Seed: sp.Seed + 21},
 	)
 	res := &GapResult{Configs: cfgs}
 	for _, m := range mappers {
@@ -59,11 +60,11 @@ func (g extGap) Run(ctx context.Context, o Options) (Result, error) {
 		}
 		res.Bounds = append(res.Bounds, lb)
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			_, ev, err := mapEval(ctx, p, m)
 			if err != nil {
 				return nil, err
 			}
-			res.Obj[mi][ci] = p.MaxAPL(mp)
+			res.Obj[mi][ci] = ev.MaxAPL
 		}
 	}
 	return res, nil
@@ -78,7 +79,7 @@ func (r *GapResult) gap(mi int) float64 {
 	return s / float64(len(r.Configs))
 }
 
-func (r *GapResult) table() *table {
+func (r *GapResult) table() *Table {
 	headers := append([]string{"Mapper"}, r.Configs...)
 	headers = append(headers, "avg gap %")
 	t := newTable("Optimality gap: max-APL over the Hungarian lower bound (percent)", headers...)
@@ -99,12 +100,17 @@ func (r *GapResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *GapResult) Render() string {
-	return r.table().Render() +
-		"\n(the bound is max of per-app unconstrained optima and the optimal g-APL;\n" +
-		" the true optimum lies between the bound and the best heuristic)\n"
+func (r *GapResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(the bound is max of per-app unconstrained optima and the optimal g-APL;\n" +
+			" the true optimum lies between the bound and the best heuristic)\n"))
 }
 
+// Render implements Result.
+func (r *GapResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *GapResult) CSV() string { return r.table().CSV() }
+func (r *GapResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *GapResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"obm/internal/mesh"
 	"obm/internal/noc"
 	"obm/internal/sim"
 )
@@ -38,11 +39,14 @@ func (e extLoadSweep) Run(ctx context.Context, o Options) (Result, error) {
 		sw.Rates = []float64{0.01, 0.04, 0.12}
 		sw.Cycles = 8_000
 	}
+	// The hotspot sits on the center-most tile of whatever mesh the
+	// sweep config describes (tile 27 on the default 8x8).
+	hot := mesh.Tile(((cfg.Rows-1)/2)*cfg.Cols + (cfg.Cols-1)/2)
 	pats := []noc.Pattern{
 		noc.UniformRandom{},
 		noc.Transpose{},
 		noc.BitComplement{},
-		noc.Hotspot{Hot: 27, Frac: 0.2},
+		noc.Hotspot{Hot: hot, Frac: 0.2},
 	}
 	// Every (pattern, rate) point is an independent deterministic
 	// simulation (noc.MeasureLoadPoint), so flatten the grid into one
@@ -75,7 +79,7 @@ func (e extLoadSweep) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *LoadSweepResult) table() *table {
+func (r *LoadSweepResult) table() *Table {
 	t := newTable("NoC load sweep: avg latency (cycles) by offered load (packets/tile/cycle)",
 		"Pattern", "zero-load", "rate", "latency", "throughput", "saturated")
 	for pi, name := range r.Patterns {
@@ -91,12 +95,17 @@ func (r *LoadSweepResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *LoadSweepResult) Render() string {
-	return r.table().Render() +
-		"\n(latency hugs the zero-load bound at light loads and rises toward\n" +
-		" saturation; adversarial patterns saturate earlier than uniform)\n"
+func (r *LoadSweepResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(latency hugs the zero-load bound at light loads and rises toward\n" +
+			" saturation; adversarial patterns saturate earlier than uniform)\n"))
 }
 
+// Render implements Result.
+func (r *LoadSweepResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *LoadSweepResult) CSV() string { return r.table().CSV() }
+func (r *LoadSweepResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *LoadSweepResult) JSON() ([]byte, error) { return r.doc().JSON() }

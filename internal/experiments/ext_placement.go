@@ -38,10 +38,11 @@ type PlacementResult struct {
 }
 
 func (e extPlacement) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, []string{"C1", "C4"})
+	sp, err := o.Spec("C1", "C4")
 	if err != nil {
 		return nil, err
 	}
+	cfgs := sp.Configs
 	msh := mesh.MustNew(8, 8)
 	placements := []model.Placement{
 		model.CornersPlacement(msh),
@@ -63,15 +64,14 @@ func (e extPlacement) Run(ctx context.Context, o Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+			_, evG, err := mapEval(ctx, p, mapping.Global{})
 			if err != nil {
 				return nil, err
 			}
-			sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+			_, evS, err := mapEval(ctx, p, mapping.SortSelectSwap{})
 			if err != nil {
 				return nil, err
 			}
-			evG, evS := p.Evaluate(gm), p.Evaluate(sm)
 			res.Rows = append(res.Rows, PlacementRow{
 				Placement: pl.Name(), Config: cfg,
 				GlobalMax: evG.MaxAPL, GlobalDev: evG.DevAPL,
@@ -82,7 +82,7 @@ func (e extPlacement) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *PlacementResult) table() *table {
+func (r *PlacementResult) table() *Table {
 	t := newTable("Balance under memory-controller placements (8x8 mesh)",
 		"Placement", "Config", "Global max", "Global dev", "SSS max", "SSS dev")
 	for _, row := range r.Rows {
@@ -93,12 +93,17 @@ func (r *PlacementResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *PlacementResult) Render() string {
-	return r.table().Render() +
-		"\n(SSS balances every placement; the corner arrangement has the strongest\n" +
-		" cache/memory location tension, edge-centers the mildest)\n"
+func (r *PlacementResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(SSS balances every placement; the corner arrangement has the strongest\n" +
+			" cache/memory location tension, edge-centers the mildest)\n"))
 }
 
+// Render implements Result.
+func (r *PlacementResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *PlacementResult) CSV() string { return r.table().CSV() }
+func (r *PlacementResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *PlacementResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -70,6 +70,8 @@ func (s extScaling) Run(ctx context.Context, o Options) (Result, error) {
 			return nil, err
 		}
 		row := ScalingRow{N: n}
+		// Both calls deliberately bypass the scenario cache: the SSS
+		// runtime column must time real mapper work.
 		gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
 		if err != nil {
 			return nil, err
@@ -92,7 +94,7 @@ func (s extScaling) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *ScalingResult) table() *table {
+func (r *ScalingResult) table() *Table {
 	t := newTable("Scaling with mesh size (4 applications, synthetic rates)",
 		"Mesh", "Global max/dev", "SSS max/dev", "LB", "SSS gap %", "SSS runtime")
 	for _, row := range r.Rows {
@@ -106,12 +108,17 @@ func (r *ScalingResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *ScalingResult) Render() string {
-	return r.table().Render() +
-		"\n(balance holds at every size; runtime grows with the O(N^3) bound,\n" +
-		" staying in remap-at-runtime territory through 256 tiles)\n"
+func (r *ScalingResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(balance holds at every size; runtime grows with the O(N^3) bound,\n" +
+			" staying in remap-at-runtime territory through 256 tiles)\n"))
 }
 
+// Render implements Result.
+func (r *ScalingResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *ScalingResult) CSV() string { return r.table().CSV() }
+func (r *ScalingResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *ScalingResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -39,10 +39,11 @@ func (e extSeeds) Run(ctx context.Context, o Options) (Result, error) {
 	if o.Quick {
 		seeds = 4
 	}
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
+	cfgs := sp.Configs
 	res := &SeedsResult{Seeds: seeds}
 	for s := 0; s < seeds; s++ {
 		var maxR, devR, gO float64
@@ -54,7 +55,7 @@ func (e extSeeds) Run(ctx context.Context, o Options) (Result, error) {
 			w, err := workload.Generate(workload.GenSpec{
 				Name: fmt.Sprintf("%s-seed%d", cfg, s), NumApps: 4, ThreadsPer: 16,
 				Cache: target.Cache, Mem: target.Mem,
-				Seed: o.Seed + uint64(s)*7919 + uint64(ci)*104729 + 1000,
+				Seed: sp.Seed + uint64(s)*7919 + uint64(ci)*104729 + 1000,
 			})
 			if err != nil {
 				return err
@@ -63,15 +64,14 @@ func (e extSeeds) Run(ctx context.Context, o Options) (Result, error) {
 			if err != nil {
 				return err
 			}
-			gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+			_, evG, err := mapEval(ctx, p, mapping.Global{})
 			if err != nil {
 				return err
 			}
-			sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+			_, evS, err := mapEval(ctx, p, mapping.SortSelectSwap{})
 			if err != nil {
 				return err
 			}
-			evG, evS := p.Evaluate(gm), p.Evaluate(sm)
 			results[ci] = acc{evG.MaxAPL, evS.MaxAPL, evG.DevAPL, evS.DevAPL, evG.GlobalAPL, evS.GlobalAPL}
 			return nil
 		})
@@ -96,7 +96,7 @@ func (e extSeeds) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *SeedsResult) table() *table {
+func (r *SeedsResult) table() *Table {
 	t := newTable(fmt.Sprintf("Headline metrics over %d workload regenerations (percent)", r.Seeds),
 		"Metric", "mean", "std", "min", "max", "(paper)")
 	row := func(name string, xs []float64, paper string) {
@@ -113,12 +113,17 @@ func (r *SeedsResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *SeedsResult) Render() string {
-	return r.table().Render() +
-		"\n(every regeneration keeps the same Table 3 moments; the spread shows how\n" +
-		" much of the headline is workload luck vs structure — structure dominates)\n"
+func (r *SeedsResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(every regeneration keeps the same Table 3 moments; the spread shows how\n" +
+			" much of the headline is workload luck vs structure — structure dominates)\n"))
 }
 
+// Render implements Result.
+func (r *SeedsResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *SeedsResult) CSV() string { return r.table().CSV() }
+func (r *SeedsResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *SeedsResult) JSON() ([]byte, error) { return r.doc().JSON() }

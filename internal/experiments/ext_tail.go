@@ -39,23 +39,24 @@ type TailResult struct {
 }
 
 func (e extTail) Run(ctx context.Context, o Options) (Result, error) {
-	cfgName := "C1"
-	if len(o.Configs) > 0 {
-		cfgName = o.Configs[0]
+	sp, err := o.Spec("C1")
+	if err != nil {
+		return nil, err
 	}
+	cfgName := sp.Configs[0]
 	p, err := problemFor(cfgName)
 	if err != nil {
 		return nil, err
 	}
 	scfg := sim.DefaultRateDrivenConfig()
-	scfg.Seed = o.Seed + 51
+	scfg.Seed = sp.Seed + 51
 	if o.Quick {
 		scfg.MeasureCycles = 60_000
 	}
-	reps := o.SimReplicas()
+	reps := sp.Budget.SimReplicas
 	res := &TailResult{Config: cfgName, SpreadP99: map[string]float64{}}
 	for _, m := range []mapping.Mapper{mapping.Global{}, mapping.SortSelectSwap{}} {
-		mp, err := mapping.MapAndCheck(ctx, m, p)
+		mp, _, err := mapEval(ctx, p, m)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +86,7 @@ func (e extTail) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *TailResult) table() *table {
+func (r *TailResult) table() *Table {
 	t := newTable(fmt.Sprintf("Per-application latency percentiles on %s (cycles, measured)", r.Config),
 		"Mapper", "App", "P50", "P95", "P99")
 	for _, row := range r.Rows {
@@ -97,19 +98,24 @@ func (r *TailResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *TailResult) Render() string {
-	s := r.table().Render()
+func (r *TailResult) doc() *Doc {
+	d := newDoc().add(r.table())
 	for _, m := range []string{"Global", "SSS"} {
 		if v, ok := r.SpreadP99[m]; ok {
-			s += fmt.Sprintf("P99 spread across applications under %s: %.0f cycles\n", m, v)
+			d.notef("P99 spread across applications under %s: %.0f cycles\n", m, v)
 		}
 	}
-	s += "(the body of each distribution moves with the mean: Global's slighted\n" +
+	d.renderOnly(Note("(the body of each distribution moves with the mean: Global's slighted\n" +
 		" application pays at every percentile, SSS's applications sit together;\n" +
-		" the extreme tail is dominated by queueing noise at these loads)\n"
-	return s
+		" the extreme tail is dominated by queueing noise at these loads)\n"))
+	return d
 }
 
+// Render implements Result.
+func (r *TailResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *TailResult) CSV() string { return r.table().CSV() }
+func (r *TailResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *TailResult) JSON() ([]byte, error) { return r.doc().JSON() }

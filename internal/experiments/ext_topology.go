@@ -44,10 +44,11 @@ type TopologyResult struct {
 }
 
 func (e extTopology) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, []string{"C1", "C4"})
+	sp, err := o.Spec("C1", "C4")
 	if err != nil {
 		return nil, err
 	}
+	cfgs := sp.Configs
 	msh := mesh.MustNew(8, 8)
 	build := func(torus bool) (*model.LatencyModel, error) {
 		if torus {
@@ -73,21 +74,20 @@ func (e extTopology) Run(ctx context.Context, o Options) (Result, error) {
 				return nil, err
 			}
 			row := TopologyRow{Topology: lm.Topology().String(), Config: cfg, TCSpread: spread}
-			rng := stats.NewRand(o.Seed + 61)
+			rng := stats.NewRand(sp.Seed + 61)
 			draws := 300
 			for i := 0; i < draws; i++ {
 				row.RandDev += p.Evaluate(core.RandomMapping(p.N(), rng)).DevAPL
 			}
 			row.RandDev /= float64(draws)
-			gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+			_, evG, err := mapEval(ctx, p, mapping.Global{})
 			if err != nil {
 				return nil, err
 			}
-			sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+			_, evS, err := mapEval(ctx, p, mapping.SortSelectSwap{})
 			if err != nil {
 				return nil, err
 			}
-			evG, evS := p.Evaluate(gm), p.Evaluate(sm)
 			row.GlobalMax, row.GlobalDev = evG.MaxAPL, evG.DevAPL
 			row.SSSMax, row.SSSDev = evS.MaxAPL, evS.DevAPL
 			res.Rows = append(res.Rows, row)
@@ -96,7 +96,7 @@ func (e extTopology) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *TopologyResult) table() *table {
+func (r *TopologyResult) table() *Table {
 	t := newTable("OBM on mesh vs torus (8x8, corner controllers)",
 		"Topology", "Config", "TC spread", "rand dev", "Global max/dev", "SSS max/dev")
 	for _, row := range r.Rows {
@@ -109,14 +109,19 @@ func (r *TopologyResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *TopologyResult) Render() string {
-	return r.table().Render() +
-		"\n(on the torus TC(k) is constant — the cache-side imbalance vanishes by\n" +
-		" construction and only the memory-controller component remains, so both\n" +
-		" the problem and the gains shrink; wrap-around links are how hardware\n" +
-		" 'solves' what the paper solves in software on a mesh)\n"
+func (r *TopologyResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(on the torus TC(k) is constant — the cache-side imbalance vanishes by\n" +
+			" construction and only the memory-controller component remains, so both\n" +
+			" the problem and the gains shrink; wrap-around links are how hardware\n" +
+			" 'solves' what the paper solves in software on a mesh)\n"))
 }
 
+// Render implements Result.
+func (r *TopologyResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *TopologyResult) CSV() string { return r.table().CSV() }
+func (r *TopologyResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *TopologyResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"obm/internal/mapping"
 	"obm/internal/workload"
 )
 
@@ -18,11 +17,12 @@ func (fig10) ID() string    { return "fig10" }
 func (fig10) Title() string { return "Figure 10: normalized global APL of the four mapping methods" }
 
 func (f fig10) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
-	mappers := standardMappers(o)
+	cfgs := sp.Configs
+	mappers := sp.StandardMappers()
 	res := &MapperSeries{
 		Caption:    "Figure 10: g-APL normalized to Global",
 		Configs:    cfgs,
@@ -43,11 +43,11 @@ func (f fig10) Run(ctx context.Context, o Options) (Result, error) {
 			return err
 		}
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			_, ev, err := mapEval(ctx, p, m)
 			if err != nil {
 				return err
 			}
-			res.Values[mi][ci] = p.GlobalAPL(mp)
+			res.Values[mi][ci] = ev.GlobalAPL
 		}
 		return nil
 	})

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"obm/internal/mapping"
 	"obm/internal/power"
 	"obm/internal/sim"
 )
@@ -21,16 +20,17 @@ func (fig11) Title() string { return "Figure 11: dynamic NoC power comparison" }
 func (f fig11) Run(ctx context.Context, o Options) (Result, error) {
 	// Simulation is the expensive part; the paper's power story is the
 	// same on every configuration, so the default set is trimmed.
-	cfgs, err := configsOrDefault(o, []string{"C1", "C3", "C5", "C7"})
+	sp, err := o.Spec("C1", "C3", "C5", "C7")
 	if err != nil {
 		return nil, err
 	}
+	cfgs := sp.Configs
 	if o.Quick {
 		if len(o.Configs) == 0 {
 			cfgs = []string{"C1", "C5"}
 		}
 	}
-	mappers := standardMappers(o)
+	mappers := sp.StandardMappers()
 	res := &MapperSeries{
 		Caption:    "Figure 11: dynamic NoC power normalized to Global",
 		Configs:    cfgs,
@@ -57,7 +57,7 @@ func (f fig11) Run(ctx context.Context, o Options) (Result, error) {
 			if err != nil {
 				return err
 			}
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			mp, _, err := mapEval(ctx, p, m)
 			if err != nil {
 				return err
 			}

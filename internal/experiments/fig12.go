@@ -31,10 +31,11 @@ type Fig12Result struct {
 }
 
 func (f fig12) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
+	cfgs := sp.Configs
 	mults := []float64{0.1, 0.3, 1, 3, 10, 30, 100}
 	if o.Quick {
 		mults = []float64{0.1, 1, 10}
@@ -46,21 +47,21 @@ func (f fig12) Run(ctx context.Context, o Options) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+		_, sev, err := mapEval(ctx, p, mapping.SortSelectSwap{})
 		if err != nil {
 			return nil, err
 		}
-		res.SSSMaxAPL += p.MaxAPL(sm)
+		res.SSSMaxAPL += sev.MaxAPL
 		for i, mult := range mults {
 			iters := int(mult * itersPerSSS)
 			if iters < 10 {
 				iters = 10
 			}
-			sam, err := mapping.MapAndCheck(ctx, mapping.Annealing{Iters: iters, Seed: o.Seed + 7}, p)
+			_, saev, err := mapEval(ctx, p, mapping.Annealing{Iters: iters, Seed: sp.Seed + 7})
 			if err != nil {
 				return nil, err
 			}
-			res.SAMaxAPL[i] += p.MaxAPL(sam)
+			res.SAMaxAPL[i] += saev.MaxAPL
 		}
 	}
 	res.SSSMaxAPL /= float64(len(cfgs))
@@ -70,26 +71,33 @@ func (f fig12) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-// Render implements Result.
-func (r *Fig12Result) Render() string {
-	t := newTable("Figure 12: SA quality vs runtime (average max-APL over configurations)",
+func (r *Fig12Result) doc() *Doc {
+	d := newDoc()
+	rt := newTable("Figure 12: SA quality vs runtime (average max-APL over configurations)",
 		"SA runtime (x SSS)", "SA max-APL", "vs SSS")
+	rt.Units = "cycles"
 	for i, m := range r.Multipliers {
-		t.addRow(fmt.Sprintf("%.1f", m),
+		rt.addRow(fmt.Sprintf("%.1f", m),
 			fmt.Sprintf("%.3f", r.SAMaxAPL[i]),
 			fmt.Sprintf("%+.2f%%", 100*(r.SAMaxAPL[i]-r.SSSMaxAPL)/r.SSSMaxAPL))
 	}
-	s := t.Render()
-	s += fmt.Sprintf("\nSSS max-APL: %.3f cycles at 1x runtime\n", r.SSSMaxAPL)
-	s += "(paper: SA stays above SSS even at 100x runtime, with diminishing gains)\n"
-	return s
+	d.renderOnly(rt)
+	d.notef("\nSSS max-APL: %.3f cycles at 1x runtime\n", r.SSSMaxAPL)
+	d.renderOnly(Note("(paper: SA stays above SSS even at 100x runtime, with diminishing gains)\n"))
+	ct := newTable("", "multiplier", "sa_max_apl", "sss_max_apl")
+	ct.Units = "cycles"
+	for i, m := range r.Multipliers {
+		ct.addRow(fmt.Sprintf("%.2f", m), fmt.Sprintf("%.4f", r.SAMaxAPL[i]), fmt.Sprintf("%.4f", r.SSSMaxAPL))
+	}
+	d.csvOnly(ct)
+	return d
 }
 
+// Render implements Result.
+func (r *Fig12Result) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *Fig12Result) CSV() string {
-	t := newTable("", "multiplier", "sa_max_apl", "sss_max_apl")
-	for i, m := range r.Multipliers {
-		t.addRow(fmt.Sprintf("%.2f", m), fmt.Sprintf("%.4f", r.SAMaxAPL[i]), fmt.Sprintf("%.4f", r.SSSMaxAPL))
-	}
-	return t.CSV()
-}
+func (r *Fig12Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Fig12Result) JSON() ([]byte, error) { return r.doc().JSON() }

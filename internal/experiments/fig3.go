@@ -39,24 +39,31 @@ func (f fig3) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-// Render implements Result.
-func (r *Fig3Result) Render() string {
-	return renderHeatmap("Figure 3a: L2 cache access latency TC(k) (darker = slower)", r.TC) +
-		"\n" +
-		renderHeatmap("Figure 3b: memory-controller access latency TM(k) (darker = slower)", r.TM) +
-		"\n(cache latency is lowest in the chip center; memory latency lowest at the corners)\n"
-}
-
-// CSV implements Result.
-func (r *Fig3Result) CSV() string {
+func (r *Fig3Result) doc() *Doc {
+	d := newDoc()
+	d.renderOnly(&Heatmap{Title: "Figure 3a: L2 cache access latency TC(k) (darker = slower)", Values: r.TC, Unit: "cycles"})
+	d.renderOnly(Note("\n"))
+	d.renderOnly(&Heatmap{Title: "Figure 3b: memory-controller access latency TM(k) (darker = slower)", Values: r.TM, Unit: "cycles"})
+	d.renderOnly(Note("\n(cache latency is lowest in the chip center; memory latency lowest at the corners)\n"))
 	t := newTable("", "row", "col", "TC", "TM")
+	t.Units = "cycles"
 	for row := range r.TC {
 		for col := range r.TC[row] {
 			t.addRowf("%.4f", row, col, r.TC[row][col], r.TM[row][col])
 		}
 	}
-	return t.CSV()
+	d.csvOnly(t)
+	return d
 }
+
+// Render implements Result.
+func (r *Fig3Result) Render() string { return r.doc().Render() }
+
+// CSV implements Result.
+func (r *Fig3Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Fig3Result) JSON() ([]byte, error) { return r.doc().JSON() }
 
 // tileGridFloats is a helper for examples: it lays out a per-tile value
 // function over a mesh as a 2D slice.

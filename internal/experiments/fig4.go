@@ -33,11 +33,10 @@ func (f fig4) Run(ctx context.Context, o Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+	m, ev, err := mapEval(ctx, p, mapping.Global{})
 	if err != nil {
 		return nil, err
 	}
-	ev := p.Evaluate(m)
 	return &FigMappingResult{
 		Caption: "Figure 4: Global mapping results of C1 (cell = application ID, 1 = lightest traffic)",
 		Grid:    p.AppGrid(m),
@@ -48,26 +47,32 @@ func (f fig4) Run(ctx context.Context, o Options) (Result, error) {
 	}, nil
 }
 
-// Render implements Result.
-func (r *FigMappingResult) Render() string {
-	s := renderGrid(r.Caption, r.Grid)
+func (r *FigMappingResult) doc() *Doc {
+	d := newDoc()
+	d.renderOnly(&Grid{Title: r.Caption, Cells: r.Grid})
 	for i, apl := range r.APLs {
-		s += fmt.Sprintf("  app %d APL: %.2f cycles\n", i+1, apl)
+		d.notef("  app %d APL: %.2f cycles\n", i+1, apl)
 	}
-	s += fmt.Sprintf("  max-APL %.2f, g-APL %.2f", r.MaxAPL, r.GAPL)
+	summary := fmt.Sprintf("  max-APL %.2f, g-APL %.2f", r.MaxAPL, r.GAPL)
 	if r.Note != "" {
-		s += " — " + r.Note
+		summary += " — " + r.Note
 	}
-	return s + "\n"
-}
-
-// CSV implements Result.
-func (r *FigMappingResult) CSV() string {
+	d.renderOnly(Note(summary + "\n"))
 	t := newTable("", "row", "col", "app")
 	for row := range r.Grid {
 		for col := range r.Grid[row] {
 			t.addRow(fmt.Sprint(row), fmt.Sprint(col), fmt.Sprint(r.Grid[row][col]))
 		}
 	}
-	return t.CSV()
+	d.csvOnly(t)
+	return d
 }
+
+// Render implements Result.
+func (r *FigMappingResult) Render() string { return r.doc().Render() }
+
+// CSV implements Result.
+func (r *FigMappingResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *FigMappingResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -83,37 +83,42 @@ func (f fig5) Run(ctx context.Context, o Options) (Result, error) {
 	}
 	// Cross-check: SSS should find the good solution's objective value;
 	// Global is optimal for g-APL which here coincides with it.
-	sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+	_, sev, err := mapEval(ctx, p, mapping.SortSelectSwap{})
 	if err != nil {
 		return nil, err
 	}
-	res.SSSMaxAPL = p.MaxAPL(sm)
-	gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+	res.SSSMaxAPL = sev.MaxAPL
+	_, gev, err := mapEval(ctx, p, mapping.Global{})
 	if err != nil {
 		return nil, err
 	}
-	res.GlobalMaxAPL = p.MaxAPL(gm)
+	res.GlobalMaxAPL = gev.MaxAPL
 	return res, nil
 }
 
-// Render implements Result.
-func (r *Fig5Result) Render() string {
-	t := newTable("Figure 5: two mappings both 'perfectly balanced' under dev/min-max metrics",
+func (r *Fig5Result) doc() *Doc {
+	d := newDoc()
+	rt := newTable("Figure 5: two mappings both 'perfectly balanced' under dev/min-max metrics",
 		"Mapping", "APL (cycles)", "dev-APL", "min/max ratio")
-	t.addRow("(a) optimal", fmt.Sprintf("%.4f", r.GoodAPL), fmt.Sprintf("%.4f", r.GoodDev), fmt.Sprintf("%.4f", r.GoodRatio))
-	t.addRow("(b) equally bad", fmt.Sprintf("%.4f", r.BadAPL), fmt.Sprintf("%.4f", r.BadDev), fmt.Sprintf("%.4f", r.BadRatio))
-	s := t.Render()
-	s += fmt.Sprintf("\npaper values: 10.3375 vs 11.5375 cycles; both have dev 0 and ratio 1,\n"+
+	rt.addRow("(a) optimal", fmt.Sprintf("%.4f", r.GoodAPL), fmt.Sprintf("%.4f", r.GoodDev), fmt.Sprintf("%.4f", r.GoodRatio))
+	rt.addRow("(b) equally bad", fmt.Sprintf("%.4f", r.BadAPL), fmt.Sprintf("%.4f", r.BadDev), fmt.Sprintf("%.4f", r.BadRatio))
+	d.renderOnly(rt)
+	d.notef("\npaper values: 10.3375 vs 11.5375 cycles; both have dev 0 and ratio 1,\n"+
 		"so only the max-APL objective separates them.\n"+
 		"sort-select-swap achieves max-APL %.4f on this instance (Global: %.4f).\n",
 		r.SSSMaxAPL, r.GlobalMaxAPL)
-	return s
+	ct := newTable("", "mapping", "apl", "dev", "ratio")
+	ct.addRow("optimal", fmt.Sprintf("%.4f", r.GoodAPL), fmt.Sprintf("%.4f", r.GoodDev), fmt.Sprintf("%.4f", r.GoodRatio))
+	ct.addRow("equally-bad", fmt.Sprintf("%.4f", r.BadAPL), fmt.Sprintf("%.4f", r.BadDev), fmt.Sprintf("%.4f", r.BadRatio))
+	d.csvOnly(ct)
+	return d
 }
 
+// Render implements Result.
+func (r *Fig5Result) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *Fig5Result) CSV() string {
-	t := newTable("", "mapping", "apl", "dev", "ratio")
-	t.addRow("optimal", fmt.Sprintf("%.4f", r.GoodAPL), fmt.Sprintf("%.4f", r.GoodDev), fmt.Sprintf("%.4f", r.GoodRatio))
-	t.addRow("equally-bad", fmt.Sprintf("%.4f", r.BadAPL), fmt.Sprintf("%.4f", r.BadDev), fmt.Sprintf("%.4f", r.BadRatio))
-	return t.CSV()
-}
+func (r *Fig5Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Fig5Result) JSON() ([]byte, error) { return r.doc().JSON() }

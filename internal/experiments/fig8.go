@@ -39,11 +39,10 @@ func (f fig8) Run(ctx context.Context, o Options) (Result, error) {
 		if err != nil {
 			return eval{}, err
 		}
-		mp, err := mapping.MapAndCheck(ctx, mappers[i], p)
+		mp, ev, err := mapEval(ctx, p, mappers[i])
 		if err != nil {
 			return eval{}, err
 		}
-		ev := p.Evaluate(mp)
 		out := eval{apls: ev.APLs, maxAPL: ev.MaxAPL}
 		if _, isSSS := mappers[i].(mapping.SortSelectSwap); isSSS {
 			out.grid = p.AppGrid(mp)
@@ -62,28 +61,36 @@ func (f fig8) Run(ctx context.Context, o Options) (Result, error) {
 	}, nil
 }
 
-// Render implements Result.
-func (r *Fig8Result) Render() string {
-	s := renderGrid("Figure 8a: SSS mapping result of C1 (cell = application ID)", r.Grid)
-	t := newTable("Figure 8b: per-application APL comparison (cycles)",
+func (r *Fig8Result) doc() *Doc {
+	d := newDoc()
+	d.renderOnly(&Grid{Title: "Figure 8a: SSS mapping result of C1 (cell = application ID)", Cells: r.Grid})
+	rt := newTable("Figure 8b: per-application APL comparison (cycles)",
 		"App", "Global", "SSS", "delta")
+	rt.Units = "cycles"
 	for i := range r.SSSAPLs {
-		t.addRow(fmt.Sprint(i+1),
+		rt.addRow(fmt.Sprint(i+1),
 			fmt.Sprintf("%.2f", r.GlobalAPLs[i]),
 			fmt.Sprintf("%.2f", r.SSSAPLs[i]),
 			fmt.Sprintf("%+.2f", r.SSSAPLs[i]-r.GlobalAPLs[i]))
 	}
-	s += "\n" + t.Render()
-	s += fmt.Sprintf("\nmax-APL: Global %.2f -> SSS %.2f (%.2f%% lower); SSS APLs nearly equal\n",
+	d.renderOnly(Note("\n"))
+	d.renderOnly(rt)
+	d.notef("\nmax-APL: Global %.2f -> SSS %.2f (%.2f%% lower); SSS APLs nearly equal\n",
 		r.GlobalMax, r.SSSMax, 100*(r.GlobalMax-r.SSSMax)/r.GlobalMax)
-	return s
+	ct := newTable("", "app", "global_apl", "sss_apl")
+	ct.Units = "cycles"
+	for i := range r.SSSAPLs {
+		ct.addRow(fmt.Sprint(i+1), fmt.Sprintf("%.4f", r.GlobalAPLs[i]), fmt.Sprintf("%.4f", r.SSSAPLs[i]))
+	}
+	d.csvOnly(ct)
+	return d
 }
 
+// Render implements Result.
+func (r *Fig8Result) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *Fig8Result) CSV() string {
-	t := newTable("", "app", "global_apl", "sss_apl")
-	for i := range r.SSSAPLs {
-		t.addRow(fmt.Sprint(i+1), fmt.Sprintf("%.4f", r.GlobalAPLs[i]), fmt.Sprintf("%.4f", r.SSSAPLs[i]))
-	}
-	return t.CSV()
-}
+func (r *Fig8Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Fig8Result) JSON() ([]byte, error) { return r.doc().JSON() }

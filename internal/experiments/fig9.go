@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"obm/internal/mapping"
 	"obm/internal/sim"
 	"obm/internal/workload"
 )
@@ -37,11 +36,12 @@ type MapperSeries struct {
 }
 
 func (f fig9) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
-	mappers := standardMappers(o)
+	cfgs := sp.Configs
+	mappers := sp.StandardMappers()
 	res := &MapperSeries{
 		Caption:   "Figure 9: max-APL (cycles)",
 		Configs:   cfgs,
@@ -61,11 +61,11 @@ func (f fig9) Run(ctx context.Context, o Options) (Result, error) {
 		}
 		col := make([]float64, len(mappers))
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			_, ev, err := mapEval(ctx, p, m)
 			if err != nil {
 				return nil, err
 			}
-			col[mi] = p.MaxAPL(mp)
+			col[mi] = ev.MaxAPL
 		}
 		return col, nil
 	})
@@ -90,7 +90,7 @@ func (r *MapperSeries) avg(mi int) float64 {
 	return s / float64(len(r.Values[mi]))
 }
 
-func (r *MapperSeries) table() *table {
+func (r *MapperSeries) table() *Table {
 	headers := append([]string{"Mapper"}, r.Configs...)
 	headers = append(headers, "Avg")
 	t := newTable(r.Caption, headers...)
@@ -113,9 +113,10 @@ func (r *MapperSeries) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *MapperSeries) Render() string {
-	s := r.table().Render()
+func (r *MapperSeries) doc() *Doc {
+	t := r.table()
+	t.Units = r.Unit
+	d := newDoc().add(t)
 	avgs := make([]float64, len(r.Mappers))
 	for mi := range r.Mappers {
 		avgs[mi] = r.avg(mi)
@@ -123,19 +124,26 @@ func (r *MapperSeries) Render() string {
 			avgs[mi] /= r.avg(0)
 		}
 	}
-	s += "\n" + renderBars("averages:", r.Mappers, avgs, r.Unit)
+	d.renderOnly(Note("\n"))
+	d.renderOnly(&Series{Title: "averages:", Labels: r.Mappers, Values: avgs, Unit: r.Unit})
 	// Relative-to-first-mapper summary (first is Global by convention).
 	if len(r.Mappers) > 1 && r.avg(0) > 0 {
 		for mi := 1; mi < len(r.Mappers); mi++ {
-			s += fmt.Sprintf("%s vs %s: %+.2f%%\n", r.Mappers[mi], r.Mappers[0],
+			d.notef("%s vs %s: %+.2f%%\n", r.Mappers[mi], r.Mappers[0],
 				100*(r.avg(mi)-r.avg(0))/r.avg(0))
 		}
 	}
 	if r.PaperNote != "" {
-		s += "(" + r.PaperNote + ")\n"
+		d.renderOnly(Note("(" + r.PaperNote + ")\n"))
 	}
-	return s
+	return d
 }
 
+// Render implements Result.
+func (r *MapperSeries) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *MapperSeries) CSV() string { return r.table().CSV() }
+func (r *MapperSeries) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *MapperSeries) JSON() ([]byte, error) { return r.doc().JSON() }

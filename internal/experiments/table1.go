@@ -37,19 +37,19 @@ type Table1Result struct {
 }
 
 func (t table1) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, []string{"C1", "C2", "C3", "C4"})
+	sp, err := o.Spec("C1", "C2", "C3", "C4")
 	if err != nil {
 		return nil, err
 	}
 	res := &Table1Result{}
-	for _, cfg := range cfgs {
+	for _, cfg := range sp.Configs {
 		p, err := problemFor(cfg)
 		if err != nil {
 			return nil, err
 		}
 		row := Table1Row{Config: cfg}
-		rng := stats.NewRand(o.Seed + 100)
-		draws := o.RandomDraws()
+		rng := stats.NewRand(sp.Seed + 100)
+		draws := sp.Budget.RandomDraws
 		for i := 0; i < draws; i++ {
 			ev := p.Evaluate(core.RandomMapping(p.N(), rng))
 			row.RandGAPL += ev.GlobalAPL
@@ -60,11 +60,10 @@ func (t table1) Run(ctx context.Context, o Options) (Result, error) {
 		row.RandMaxAPL /= float64(draws)
 		row.RandDevAPL /= float64(draws)
 
-		gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+		_, ev, err := mapEval(ctx, p, mapping.Global{})
 		if err != nil {
 			return nil, err
 		}
-		ev := p.Evaluate(gm)
 		row.GlobalGAPL = ev.GlobalAPL
 		row.GlobalMaxAPL = ev.MaxAPL
 		row.GlobalDevAPL = ev.DevAPL
@@ -88,9 +87,10 @@ func (t table1) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *Table1Result) table() *table {
+func (r *Table1Result) table() *Table {
 	t := newTable("Table 1: imbalance exacerbation by global optimization (cycles)",
 		"Config", "g-APL rand", "g-APL Global", "max-APL rand", "max-APL Global", "dev-APL rand", "dev-APL Global")
+	t.Units = "cycles"
 	emit := func(row Table1Row) {
 		t.addRow(row.Config,
 			fmt.Sprintf("%.2f", row.RandGAPL), fmt.Sprintf("%.2f", row.GlobalGAPL),
@@ -104,16 +104,21 @@ func (r *Table1Result) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *Table1Result) Render() string {
-	s := r.table().Render()
-	s += fmt.Sprintf("\nGlobal vs random: g-APL %+.2f%%, max-APL %+.2f%%, dev-APL x%.2f\n",
+func (r *Table1Result) doc() *Doc {
+	d := newDoc().add(r.table())
+	d.notef("\nGlobal vs random: g-APL %+.2f%%, max-APL %+.2f%%, dev-APL x%.2f\n",
 		100*(r.Avg.GlobalGAPL-r.Avg.RandGAPL)/r.Avg.RandGAPL,
 		100*(r.Avg.GlobalMaxAPL-r.Avg.RandMaxAPL)/r.Avg.RandMaxAPL,
 		r.Avg.GlobalDevAPL/r.Avg.RandDevAPL)
-	s += "(paper: -4.78% g-APL, +9.85% max-APL, ~3.4x dev-APL)\n"
-	return s
+	d.renderOnly(Note("(paper: -4.78% g-APL, +9.85% max-APL, ~3.4x dev-APL)\n"))
+	return d
 }
 
+// Render implements Result.
+func (r *Table1Result) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *Table1Result) CSV() string { return r.table().CSV() }
+func (r *Table1Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Table1Result) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -30,12 +30,12 @@ type Table3Result struct {
 }
 
 func (t table3) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
 	res := &Table3Result{}
-	for _, cfg := range cfgs {
+	for _, cfg := range sp.Configs {
 		w, err := workload.Config(cfg)
 		if err != nil {
 			return nil, err
@@ -50,7 +50,7 @@ func (t table3) Run(ctx context.Context, o Options) (Result, error) {
 	return res, nil
 }
 
-func (r *Table3Result) table() *table {
+func (r *Table3Result) table() *Table {
 	t := newTable("Table 3: communication-rate statistics (generated vs paper)",
 		"Config", "cache mean", "(paper)", "cache std", "(paper)", "mem mean", "(paper)", "mem std", "(paper)", "cache:mem")
 	for _, row := range r.Rows {
@@ -64,11 +64,16 @@ func (r *Table3Result) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *Table3Result) Render() string {
-	return r.table().Render() +
-		"\n(paper 'Std-dev' columns read as variances; targets shown are their square roots — see DESIGN.md)\n"
+func (r *Table3Result) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(paper 'Std-dev' columns read as variances; targets shown are their square roots — see DESIGN.md)\n"))
 }
 
+// Render implements Result.
+func (r *Table3Result) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *Table3Result) CSV() string { return r.table().CSV() }
+func (r *Table3Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Table3Result) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"obm/internal/mapping"
 	"obm/internal/workload"
 )
 
@@ -27,11 +26,12 @@ type Table4Result struct {
 }
 
 func (t table4) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, workload.ConfigNames())
+	sp, err := o.Spec(workload.ConfigNames()...)
 	if err != nil {
 		return nil, err
 	}
-	mappers := standardMappers(o)
+	cfgs := sp.Configs
+	mappers := sp.StandardMappers()
 	res := &Table4Result{Configs: cfgs}
 	for _, m := range mappers {
 		res.Mappers = append(res.Mappers, shortName(m))
@@ -46,11 +46,11 @@ func (t table4) Run(ctx context.Context, o Options) (Result, error) {
 			return err
 		}
 		for mi, m := range mappers {
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			_, ev, err := mapEval(ctx, p, m)
 			if err != nil {
 				return err
 			}
-			res.Dev[mi][ci] = p.Evaluate(mp).DevAPL
+			res.Dev[mi][ci] = ev.DevAPL
 		}
 		return nil
 	})
@@ -69,7 +69,7 @@ func (r *Table4Result) avg(mi int) float64 {
 	return s / float64(len(r.Dev[mi]))
 }
 
-func (r *Table4Result) table() *table {
+func (r *Table4Result) table() *Table {
 	headers := append([]string{"Mapper"}, r.Configs...)
 	headers = append(headers, "Avg")
 	t := newTable("Table 4: dev-APL for different configurations", headers...)
@@ -84,9 +84,8 @@ func (r *Table4Result) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *Table4Result) Render() string {
-	s := r.table().Render()
+func (r *Table4Result) doc() *Doc {
+	d := newDoc().add(r.table())
 	// Reduction of SSS vs the others (the paper reports 99.65%, 95.45%,
 	// 83.15% vs Global, MC, SA).
 	sssIdx := -1
@@ -102,13 +101,19 @@ func (r *Table4Result) Render() string {
 				continue
 			}
 			if a := r.avg(i); a > 0 {
-				s += fmt.Sprintf("SSS reduces dev-APL vs %s by %.2f%%\n", n, 100*(1-sss/a))
+				d.notef("SSS reduces dev-APL vs %s by %.2f%%\n", n, 100*(1-sss/a))
 			}
 		}
-		s += "(paper: 99.65% vs Global, 95.45% vs MC, 83.15% vs SA)\n"
+		d.renderOnly(Note("(paper: 99.65% vs Global, 95.45% vs MC, 83.15% vs SA)\n"))
 	}
-	return s
+	return d
 }
 
+// Render implements Result.
+func (r *Table4Result) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *Table4Result) CSV() string { return r.table().CSV() }
+func (r *Table4Result) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *Table4Result) JSON() ([]byte, error) { return r.doc().JSON() }

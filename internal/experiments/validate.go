@@ -38,22 +38,22 @@ type ValidateResult struct {
 }
 
 func (v validate) Run(ctx context.Context, o Options) (Result, error) {
-	cfgs, err := configsOrDefault(o, []string{"C1"})
+	sp, err := o.Spec("C1")
 	if err != nil {
 		return nil, err
 	}
 	var parts []Result
-	for _, cfg := range cfgs {
+	for _, cfg := range sp.Configs {
 		p, err := problemFor(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+		m, pred, err := mapEval(ctx, p, mapping.SortSelectSwap{})
 		if err != nil {
 			return nil, err
 		}
 		scfg := sim.DefaultRateDrivenConfig()
-		scfg.Seed = o.Seed + 5
+		scfg.Seed = sp.Seed + 5
 		if o.Quick {
 			scfg.MeasureCycles = 50_000
 		}
@@ -61,7 +61,6 @@ func (v validate) Run(ctx context.Context, o Options) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred := p.Evaluate(m)
 		res := &ValidateResult{Config: cfg, Mapper: "SSS", QueuingPerHop: sr.Net.AvgQueuingPerHop()}
 		for a := 0; a < p.NumApps(); a++ {
 			row := ValidateRow{App: a + 1, Model: pred.APLs[a], Measured: sr.AppAPL[a]}
@@ -80,7 +79,7 @@ func (v validate) Run(ctx context.Context, o Options) (Result, error) {
 	return multi{parts: parts}, nil
 }
 
-func (r *ValidateResult) table() *table {
+func (r *ValidateResult) table() *Table {
 	t := newTable(fmt.Sprintf("Model validation on %s under %s", r.Config, r.Mapper),
 		"App", "model APL", "measured APL", "error", "packets")
 	for _, row := range r.Rows {
@@ -93,12 +92,17 @@ func (r *ValidateResult) table() *table {
 	return t
 }
 
-// Render implements Result.
-func (r *ValidateResult) Render() string {
-	return r.table().Render() +
-		fmt.Sprintf("\nmean |error| %.2f cycles; measured queuing %.3f cycles/hop (paper observes 0..1)\n",
+func (r *ValidateResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		notef("\nmean |error| %.2f cycles; measured queuing %.3f cycles/hop (paper observes 0..1)\n",
 			r.MeanAbsErr, r.QueuingPerHop)
 }
 
+// Render implements Result.
+func (r *ValidateResult) Render() string { return r.doc().Render() }
+
 // CSV implements Result.
-func (r *ValidateResult) CSV() string { return r.table().CSV() }
+func (r *ValidateResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *ValidateResult) JSON() ([]byte, error) { return r.doc().JSON() }

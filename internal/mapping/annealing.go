@@ -31,6 +31,13 @@ type Annealing struct {
 // Name implements Mapper.
 func (a Annealing) Name() string { return fmt.Sprintf("SA(%d)", a.Iters) }
 
+// Fingerprint implements Mapper. T0 and Cooling are printed raw (0
+// selects the automatic schedule, which is itself a deterministic
+// function of the problem and seed).
+func (a Annealing) Fingerprint() string {
+	return fmt.Sprintf("sa(iters=%d,t0=%g,cooling=%g,seed=%d)", a.Iters, a.T0, a.Cooling, a.Seed)
+}
+
 // saPollMask sets how often the iteration loop polls cancellation and
 // reports progress (every saPollMask+1 proposed moves).
 const saPollMask = 63

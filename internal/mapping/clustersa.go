@@ -39,6 +39,20 @@ func (c ClusterSA) Name() string {
 	return fmt.Sprintf("ClusterSA(%d)", cs)
 }
 
+// Fingerprint implements Mapper, with defaults resolved so the zero
+// value and explicit defaults share a key.
+func (c ClusterSA) Fingerprint() string {
+	cs := c.ClusterSize
+	if cs <= 0 {
+		cs = 4
+	}
+	iters := c.Iters
+	if iters <= 0 {
+		iters = 2000
+	}
+	return fmt.Sprintf("clustersa(cs=%d,iters=%d,seed=%d)", cs, iters, c.Seed)
+}
+
 // Map implements Mapper. Every iteration includes at least one
 // Hungarian solve, so the loop polls cancellation each move.
 func (c ClusterSA) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {

@@ -24,6 +24,16 @@ type Exact struct {
 // Name implements Mapper.
 func (Exact) Name() string { return "Exact" }
 
+// Fingerprint implements Mapper. MaxNodes is part of the key because
+// hitting the node bound turns a result into an error.
+func (e Exact) Fingerprint() string {
+	mn := e.MaxNodes
+	if mn <= 0 {
+		mn = 50_000_000
+	}
+	return fmt.Sprintf("exact(maxnodes=%d)", mn)
+}
+
 // Map implements Mapper. The branch-and-bound search polls
 // cancellation every few thousand nodes, so even an exponential
 // instance unwinds promptly under a deadline.

@@ -39,6 +39,25 @@ func (g Genetic) Name() string {
 	return fmt.Sprintf("GA(%dx%d)", pop, gen)
 }
 
+// Fingerprint implements Mapper, with defaults resolved so the zero
+// value and explicit defaults share a key.
+func (g Genetic) Fingerprint() string {
+	pop, gens, mut, elite := g.Population, g.Generations, g.MutationRate, g.Elite
+	if pop <= 0 {
+		pop = 64
+	}
+	if gens <= 0 {
+		gens = 200
+	}
+	if mut <= 0 {
+		mut = 0.3
+	}
+	if elite <= 0 {
+		elite = 2
+	}
+	return fmt.Sprintf("ga(pop=%d,gen=%d,mut=%g,elite=%d,seed=%d)", pop, gens, mut, elite, g.Seed)
+}
+
 // Map implements Mapper. The generation loop polls cancellation once
 // per generation (each generation evaluates a full population).
 func (g Genetic) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {

@@ -18,6 +18,10 @@ type Global struct{}
 // Name implements Mapper.
 func (Global) Name() string { return "Global" }
 
+// Fingerprint implements Mapper. Global is parameterless and fully
+// deterministic.
+func (Global) Fingerprint() string { return "global" }
+
 // Map implements Mapper. The chip-wide cost matrix entry for thread j on
 // tile k is c_j*TC(k) + m_j*TM(k); a single Hungarian solve yields the
 // g-APL-optimal permutation in O(N^3).

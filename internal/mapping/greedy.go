@@ -19,6 +19,9 @@ type Greedy struct{}
 // Name implements Mapper.
 func (Greedy) Name() string { return "Greedy" }
 
+// Fingerprint implements Mapper.
+func (Greedy) Fingerprint() string { return "greedy" }
+
 // Map implements Mapper.
 func (Greedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	if err := ctx.Err(); err != nil {
@@ -66,6 +69,9 @@ type BalancedGreedy struct{}
 
 // Name implements Mapper.
 func (BalancedGreedy) Name() string { return "BalancedGreedy" }
+
+// Fingerprint implements Mapper.
+func (BalancedGreedy) Fingerprint() string { return "balanced-greedy" }
 
 // Map implements Mapper.
 func (BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {

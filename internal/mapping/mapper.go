@@ -25,6 +25,16 @@ import (
 type Mapper interface {
 	// Name identifies the algorithm in experiment output.
 	Name() string
+	// Fingerprint returns a stable content key covering the algorithm
+	// and every parameter that can affect the returned mapping (seeds
+	// and budgets included; knobs that are documented not to change the
+	// result, like worker counts, are excluded). Two mappers with equal
+	// fingerprints must produce identical mappings on equal problems —
+	// the scenario artifact cache relies on this to share one
+	// computation per distinct invocation. Defaulted parameters are
+	// resolved before printing, so the zero value and an explicit
+	// default share a fingerprint.
+	Fingerprint() string
 	// Map solves the instance. Implementations must be deterministic for
 	// a fixed configuration (all randomness comes from explicit seeds);
 	// ctx carries cancellation, a deadline, and optionally a progress

@@ -33,6 +33,13 @@ type MonteCarlo struct {
 // Name implements Mapper.
 func (mc MonteCarlo) Name() string { return fmt.Sprintf("MC(%d)", mc.Samples) }
 
+// Fingerprint implements Mapper. Workers is excluded: the sample
+// partition is fixed by the sample count and seed, so the result is
+// documented to be identical for any worker count.
+func (mc MonteCarlo) Fingerprint() string {
+	return fmt.Sprintf("mc(samples=%d,seed=%d)", mc.Samples, mc.Seed)
+}
+
 // mcPollMask sets how often the sample loop polls cancellation and
 // reports progress: every mcPollMask+1 samples (a power of two so the
 // check is a mask, not a division).

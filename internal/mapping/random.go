@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"context"
+	"fmt"
 
 	"obm/internal/core"
 	"obm/internal/stats"
@@ -16,6 +17,10 @@ type Random struct {
 
 // Name implements Mapper.
 func (r Random) Name() string { return "Random" }
+
+// Fingerprint implements Mapper. The seed fully determines the drawn
+// permutation.
+func (r Random) Fingerprint() string { return fmt.Sprintf("random(seed=%d)", r.Seed) }
 
 // Map implements Mapper.
 func (r Random) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {

@@ -110,6 +110,26 @@ func (s SortSelectSwap) Name() string {
 	return name + "]"
 }
 
+// Fingerprint implements Mapper, with the window default resolved.
+// Passes 0 and 1 are both the published single-pass algorithm and the
+// seed only feeds SelectRandom, so both normalize before printing.
+func (s SortSelectSwap) Fingerprint() string {
+	window := s.WindowSize
+	if window == 0 {
+		window = 4
+	}
+	passes := s.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	seed := s.Seed
+	if s.Select != SelectRandom {
+		seed = 0
+	}
+	return fmt.Sprintf("sss(swap=%t,finalsam=%t,sel=%s,win=%d,step=%d,passes=%d,seed=%d)",
+		!s.DisableSwap, !s.DisableFinalSAM, s.Select, window, s.MaxStep, passes, seed)
+}
+
 // Map implements Mapper. The sliding-window phase (the only
 // super-linear part) polls cancellation between window steps and
 // reports step progress.

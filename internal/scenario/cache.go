@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"obm/internal/core"
+	"obm/internal/engine"
+	"obm/internal/mapping"
+)
+
+// Artifact is one memoized mapper invocation: the validated mapping and
+// its full evaluation on the problem it was computed for.
+type Artifact struct {
+	// Mapping is the mapper's validated permutation.
+	Mapping core.Mapping
+	// Eval is Problem.Evaluate of that mapping.
+	Eval core.Evaluation
+}
+
+// clone returns an independent copy so callers can never corrupt the
+// cached artifact (Mapping and Eval.APLs are slices).
+func (a Artifact) clone() Artifact {
+	out := Artifact{Mapping: a.Mapping.Clone(), Eval: a.Eval}
+	out.Eval.APLs = append([]float64(nil), a.Eval.APLs...)
+	return out
+}
+
+// entry is one cache slot. The first requester computes; done is closed
+// when Mapping/Eval/err are final, and everyone else waits on it
+// (singleflight).
+type entry struct {
+	done chan struct{}
+	art  Artifact
+	err  error
+}
+
+// Cache memoizes mapper invocations content-keyed by
+// (Problem.Fingerprint, Mapper.Fingerprint). It is safe for concurrent
+// use: simultaneous requests for the same key share one computation,
+// and distinct keys compute in parallel. Both fingerprints are content
+// hashes, so independently built but identical problems (every runner
+// builds its own) share artifacts, and a cached result is bit-identical
+// to a recomputed one because mappers are deterministic by contract.
+//
+// Errors are not cached: a failed or cancelled computation removes the
+// slot so a later request retries (waiters that joined the failed
+// flight do share its error).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits, misses atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// MapEval returns mapper m's validated mapping and evaluation on p,
+// computing it at most once per distinct (problem, mapper) content key.
+// A hit (or a shared in-flight computation) reports a skipped stage to
+// the context's engine progress sink; a miss runs mapping.MapAndCheck
+// and Problem.Evaluate under ctx as usual. The returned artifact is an
+// independent copy — callers may mutate it freely.
+func (c *Cache) MapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
+	key := p.Fingerprint() + "|" + m.Fingerprint()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, core.Evaluation{}, fmt.Errorf("scenario: waiting for shared %s artifact: %w", m.Name(), ctx.Err())
+		}
+		if e.err != nil {
+			return nil, core.Evaluation{}, e.err
+		}
+		c.hits.Add(1)
+		engine.ReportSkipped(ctx, "cached:"+m.Name())
+		art := e.art.clone()
+		return art.Mapping, art.Eval, nil
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	mp, err := mapping.MapAndCheck(ctx, m, p)
+	if err != nil {
+		e.err = err
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+		return nil, core.Evaluation{}, err
+	}
+	e.art = Artifact{Mapping: mp, Eval: p.Evaluate(mp)}
+	close(e.done)
+	art := e.art.clone()
+	return art.Mapping, art.Eval, nil
+}
+
+// Stats returns the cumulative hit and miss counts. Misses equal the
+// number of actual mapper invocations performed through the cache.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of completed-or-in-flight artifacts held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// shared is the process-wide artifact cache every experiment runner
+// routes mapper invocations through, so one `obmsim -exp all` run (and
+// concurrent runners within one experiment) computes each distinct
+// invocation once.
+var shared atomic.Pointer[Cache]
+
+func init() { shared.Store(NewCache()) }
+
+// Shared returns the process-wide artifact cache.
+func Shared() *Cache { return shared.Load() }
+
+// ResetShared installs a fresh empty shared cache and returns it.
+// Tests use it to measure cold-path behaviour; long-lived servers can
+// use it to bound memory across unrelated batches.
+func ResetShared() *Cache {
+	c := NewCache()
+	shared.Store(c)
+	return c
+}

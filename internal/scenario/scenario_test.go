@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"obm/internal/core"
+	"obm/internal/engine"
+	"obm/internal/mapping"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/workload"
+)
+
+func testProblem(t *testing.T, cfg string) *core.Problem {
+	t.Helper()
+	w, err := workload.Config(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(model.MustNew(mesh.MustNew(8, 8), model.DefaultParams()), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCacheHitReturnsIdenticalArtifact(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p := testProblem(t, "C1")
+	m := mapping.SortSelectSwap{}
+
+	mp1, ev1, err := c.MapEval(ctx, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second, independently built problem with the same content must
+	// hit and return the identical artifact.
+	mp2, ev2, err := c.MapEval(ctx, testProblem(t, "C1"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+	if len(mp1) != len(mp2) {
+		t.Fatal("mapping lengths differ")
+	}
+	for i := range mp1 {
+		if mp1[i] != mp2[i] {
+			t.Fatalf("cached mapping differs at %d: %v vs %v", i, mp1[i], mp2[i])
+		}
+	}
+	if ev1.MaxAPL != ev2.MaxAPL || ev1.DevAPL != ev2.DevAPL || ev1.GlobalAPL != ev2.GlobalAPL {
+		t.Errorf("cached evaluation differs: %+v vs %+v", ev1, ev2)
+	}
+}
+
+func TestCacheMissPerDistinctKey(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p1, p2 := testProblem(t, "C1"), testProblem(t, "C2")
+	if _, _, err := c.MapEval(ctx, p1, mapping.Global{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.MapEval(ctx, p2, mapping.Global{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.MapEval(ctx, p1, mapping.Greedy{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 3 {
+		t.Errorf("stats = %d hits, %d misses; want 0, 3", hits, misses)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheReturnsIndependentCopies(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p := testProblem(t, "C1")
+	mp, ev, err := c.MapEval(ctx, p, mapping.Global{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp[0], mp[1] = mp[1], mp[0]
+	ev.APLs[0] = -1
+	mp2, ev2, err := c.MapEval(ctx, p, mapping.Global{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp2.Validate(p.N()); err != nil {
+		t.Errorf("cached mapping corrupted by caller mutation: %v", err)
+	}
+	if ev2.APLs[0] == -1 {
+		t.Error("cached evaluation corrupted by caller mutation")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p := testProblem(t, "C3")
+	m := mapping.MonteCarlo{Samples: 2_000, Seed: 7}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.MapEval(ctx, p, m)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if hits, misses := c.Stats(); misses != 1 || hits != callers-1 {
+		t.Errorf("stats = %d hits, %d misses; want %d, 1", hits, misses, callers-1)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p := testProblem(t, "C1")
+	// Iters <= 0 is a validation error inside the mapper.
+	if _, _, err := c.MapEval(ctx, p, mapping.Annealing{Iters: -1}); err == nil {
+		t.Fatal("invalid mapper accepted")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed computation left %d entries", c.Len())
+	}
+	// A cancelled computation must not poison the key either.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.MapEval(cancelled, p, mapping.Global{}); err == nil {
+		t.Fatal("cancelled computation succeeded")
+	}
+	if _, _, err := c.MapEval(ctx, p, mapping.Global{}); err != nil {
+		t.Errorf("retry after cancellation failed: %v", err)
+	}
+}
+
+func TestCacheHitReportsSkippedStage(t *testing.T) {
+	c := NewCache()
+	var mu sync.Mutex
+	var skipped []string
+	sink := engine.SinkFunc(func(pr engine.Progress) {
+		if pr.Skipped {
+			mu.Lock()
+			skipped = append(skipped, pr.Stage)
+			mu.Unlock()
+		}
+	})
+	ctx := engine.WithSink(context.Background(), sink)
+	p := testProblem(t, "C1")
+	if _, _, err := c.MapEval(ctx, p, mapping.Global{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("cold path reported skipped stages: %v", skipped)
+	}
+	if _, _, err := c.MapEval(ctx, p, mapping.Global{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "Global") {
+		t.Errorf("hit should report one skipped stage naming the mapper, got %v", skipped)
+	}
+}
+
+func TestProblemFingerprintContentKeyed(t *testing.T) {
+	p1, p2 := testProblem(t, "C1"), testProblem(t, "C1")
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("identical problems should share a fingerprint")
+	}
+	if p1.Fingerprint() == testProblem(t, "C2").Fingerprint() {
+		t.Error("different workloads should not share a fingerprint")
+	}
+}
+
+func TestSharedReset(t *testing.T) {
+	before := Shared()
+	if before == nil {
+		t.Fatal("no shared cache")
+	}
+	fresh := ResetShared()
+	if fresh == Shared() != true || fresh == before {
+		t.Error("ResetShared should install a distinct fresh cache")
+	}
+	if h, m := fresh.Stats(); h != 0 || m != 0 {
+		t.Error("fresh cache should start empty")
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	q, f := DefaultBudget(true), DefaultBudget(false)
+	if !(q.RandomDraws < f.RandomDraws && q.MCSamples < f.MCSamples && q.SAIters < f.SAIters && q.SimReplicas < f.SimReplicas) {
+		t.Errorf("quick budgets should be smaller: %+v vs %+v", q, f)
+	}
+	if f.MCSamples != 10_000 {
+		t.Errorf("full MC budget %d, paper uses 10^4", f.MCSamples)
+	}
+}
+
+func TestStandardMappers(t *testing.T) {
+	sp := Spec{Configs: []string{"C1"}, Budget: DefaultBudget(true), Seed: 1}
+	ms := sp.StandardMappers()
+	if len(ms) != 4 {
+		t.Fatalf("want 4 standard mappers, got %d", len(ms))
+	}
+	names := []string{ms[0].Name(), ms[1].Name(), ms[2].Name(), ms[3].Name()}
+	want := []string{"Global", "MC(1000)", "SA(5000)", "SSS"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("mapper %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	// Fingerprints must track the seed (it offsets MC and SA streams).
+	other := Spec{Budget: DefaultBudget(true), Seed: 2}.StandardMappers()
+	if ms[1].Fingerprint() == other[1].Fingerprint() || ms[2].Fingerprint() == other[2].Fingerprint() {
+		t.Error("seeded mapper fingerprints should differ across spec seeds")
+	}
+	if ms[0].Fingerprint() != other[0].Fingerprint() {
+		t.Error("Global fingerprint should not depend on the seed")
+	}
+}
