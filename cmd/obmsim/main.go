@@ -8,6 +8,8 @@
 //	obmsim -exp fig9 -configs C1,C2 -quick -csv out.csv
 //	obmsim -exp fig3,fig9 -svgdir figs   # also write SVG figures
 //	obmsim -exp all -timeout 2m -progress # bounded run with a stderr ticker
+//	obmsim -exp all -quick -metrics       # print the run's metrics table
+//	obmsim -exp fig9 -pprof 127.0.0.1:6060 -cpuprofile cpu.out
 //
 // Each experiment prints a paper-style table or grid; -csv additionally
 // writes machine-readable output, and -json / -jsondir write the typed
@@ -15,6 +17,13 @@
 // cancellable: SIGINT or SIGTERM (or -timeout expiry) stops the
 // in-flight experiment promptly, keeps everything already printed, and
 // exits non-zero with a note on how far the batch got.
+//
+// Observability: -metrics prints the process metrics registry (NoC flit
+// and cycle counters, replica utilization, mapper wall time, cache
+// hits/misses, per-experiment durations) after the run and embeds the
+// same snapshot as an obsim.metrics/v1 block in the -json envelope;
+// -pprof serves net/http/pprof, and -cpuprofile/-memprofile write
+// runtime profiles for offline `go tool pprof`.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 
 	"obm/internal/engine"
 	"obm/internal/experiments"
+	"obm/internal/obs"
 	"obm/internal/scenario"
 )
 
@@ -92,9 +102,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		progress = fs.Bool("progress", false, "print throttled progress events to stderr")
 		jsonPath = fs.String("json", "", "write all results as one JSON document to this file")
 		jsonDir  = fs.String("jsondir", "", "write each experiment's JSON document to <dir>/<id>.json")
+		metrics  = fs.Bool("metrics", false, "print the run's metrics table and embed an obsim.metrics/v1 block in -json output")
+		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *pprofSrv != "" {
+		stop, err := startPprof(*pprofSrv, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "obmsim:", err)
+			return 2
+		}
+		defer stop()
+	}
+	if *cpuProf != "" {
+		stop, err := startCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "obmsim:", err)
+			return 2
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(stderr, "obmsim:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -202,6 +239,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		hits, misses := scenario.Shared().Stats()
 		fmt.Fprintf(stderr, "obmsim: mapper artifact cache: %d computed, %d served from cache\n", misses, hits)
 	}
+	// One post-run snapshot feeds both the printed table and the JSON
+	// block, so the two can never disagree; the cache summary line is
+	// derived from the same snapshot for the same reason.
+	var mblock *metricsBlock
+	if *metrics {
+		snap := obs.Default().Snapshot()
+		mblock = &metricsBlock{Schema: metricsSchema, Snapshot: snap}
+		if printed > 0 {
+			fmt.Fprintln(stdout)
+		}
+		hits, _ := snap.Counter("scenario.cache.hits")
+		misses, _ := snap.Counter("scenario.cache.misses")
+		fmt.Fprintf(stdout, "mapper artifact cache: %d computed, %d served from cache\n", misses, hits)
+		printMetrics(stdout, snap)
+	}
 	if *csvPath != "" && csv.Len() > 0 {
 		if werr := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); werr != nil {
 			fmt.Fprintln(stderr, "obmsim: writing csv:", werr)
@@ -211,9 +263,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *jsonPath != "" && len(jsonEntries) > 0 && writeErr == nil {
 		doc, merr := json.MarshalIndent(struct {
-			Schema      string      `json:"schema"`
-			Experiments []jsonEntry `json:"experiments"`
-		}{Schema: "obmsim.run/v1", Experiments: jsonEntries}, "", "  ")
+			Schema      string        `json:"schema"`
+			Experiments []jsonEntry   `json:"experiments"`
+			Metrics     *metricsBlock `json:"metrics,omitempty"`
+		}{Schema: "obmsim.run/v1", Experiments: jsonEntries, Metrics: mblock}, "", "  ")
 		if merr != nil {
 			fmt.Fprintln(stderr, "obmsim: encoding json:", merr)
 			return 1

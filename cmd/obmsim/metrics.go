@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"obm/internal/obs"
+)
+
+// metricsSchema tags the metrics block embedded in the obmsim.run/v1
+// envelope and printed by -metrics.
+const metricsSchema = "obsim.metrics/v1"
+
+// metricsBlock is the wire form of the run's metrics: the registry
+// snapshot tagged with its schema.
+type metricsBlock struct {
+	Schema string `json:"schema"`
+	obs.Snapshot
+}
+
+// printMetrics renders the snapshot as an aligned table: counters and
+// gauges by name, histograms as count/mean/p50/p99 summaries.
+// Everything is derived from the one snapshot the caller took, so the
+// table and the JSON block can never disagree.
+func printMetrics(w io.Writer, snap obs.Snapshot) {
+	fmt.Fprintf(w, "metrics (%s):\n", metricsSchema)
+	width := 0
+	for _, c := range snap.Counters {
+		width = max(width, len(c.Name))
+	}
+	for _, g := range snap.Gauges {
+		width = max(width, len(g.Name))
+	}
+	for _, h := range snap.Histograms {
+		width = max(width, len(h.Name))
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(w, "  counters:")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(w, "    %-*s %12d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(w, "  gauges:")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(w, "    %-*s %12d\n", width, g.Name, g.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(w, "  histograms:")
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(w, "    %-*s count %6d  mean %-10s p50 %-10s p99 %s\n",
+				width, h.Name, h.Count,
+				fmtSample(h.Name, h.Mean()), fmtSample(h.Name, h.Quantile(0.50)), fmtSample(h.Name, h.Quantile(0.99)))
+		}
+	}
+}
+
+// fmtSample renders one histogram statistic; second-valued histograms
+// (the ".seconds" timers) print as durations.
+func fmtSample(name string, v float64) string {
+	if strings.HasSuffix(name, ".seconds") {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// startPprof serves net/http/pprof on addr and returns a shutdown
+// function. Listening first (rather than http.ListenAndServe) reports
+// bad addresses synchronously and lets :0 pick a free port, printed so
+// callers know where to point `go tool pprof`.
+func startPprof(addr string, stderr io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	fmt.Fprintf(stderr, "obmsim: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}
+
+// startCPUProfile begins a CPU profile into path and returns the stop
+// function.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile records an up-to-date heap profile into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize final live-set statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}

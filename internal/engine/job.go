@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
+
+	"obm/internal/obs"
 )
 
 // Job is one named unit of cancellable work.
@@ -73,8 +76,9 @@ func (r Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			return results, fmt.Errorf("engine: batch interrupted after %d/%d jobs: %w", i, len(jobs), err)
 		}
 		start := time.Now()
-		v, err := j.Run(ctx)
+		v, err := runJob(ctx, j)
 		res := Result{Name: j.Name, Value: v, Err: err, Elapsed: time.Since(start)}
+		obs.Default().Timer("engine.job." + j.Name + ".seconds").Observe(res.Elapsed)
 		results = append(results, res)
 		if r.OnResult != nil {
 			r.OnResult(res)
@@ -95,4 +99,20 @@ func (r Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 	rep.Finish(len(jobs), len(jobs))
 	return results, errors.Join(errs...)
+}
+
+// runJob executes one job, converting a panic into an error that
+// carries the panic value and stack. This is the batch boundary's half
+// of the panic-safety audit done for the scenario cache's singleflight:
+// lower layers re-raise panics (programmer error stays loud), and the
+// runner turns them into a failed Result here so the batch's own
+// bookkeeping — OnResult streaming, stage reporting, KeepGoing — stays
+// consistent instead of unwinding half-finished.
+func runJob(ctx context.Context, j Job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: job %s panicked: %v\n%s", j.Name, r, debug.Stack())
+		}
+	}()
+	return j.Run(ctx)
 }

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunnerConvertsJobPanics checks the batch boundary's panic audit:
+// a job that panics becomes a failed Result — with the panic value and
+// a stack in the error — and with KeepGoing the rest of the batch still
+// runs and streams through OnResult.
+func TestRunnerConvertsJobPanics(t *testing.T) {
+	var streamed []string
+	r := Runner{
+		KeepGoing: true,
+		OnResult:  func(res Result) { streamed = append(streamed, res.Name) },
+	}
+	jobs := []Job{
+		{Name: "ok1", Run: func(ctx context.Context) (any, error) { return 1, nil }},
+		{Name: "boom", Run: func(ctx context.Context) (any, error) { panic("kaboom") }},
+		{Name: "ok2", Run: func(ctx context.Context) (any, error) { return 2, nil }},
+	}
+	results, err := r.Run(context.Background(), jobs)
+	if err == nil || !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("joined error should carry the panic: %v", err)
+	}
+	if !strings.Contains(err.Error(), "panic_test.go") {
+		t.Errorf("panic error should carry a stack trace: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (KeepGoing past the panic)", len(results))
+	}
+	if results[1].Err == nil || results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("only the panicking job should fail: %v", results)
+	}
+	if len(streamed) != 3 {
+		t.Errorf("OnResult saw %v, want all three jobs", streamed)
+	}
+}
+
+// TestRunnerPanicStopsBatchWithoutKeepGoing checks a panicking job
+// behaves exactly like a failing one under the default stop-on-error
+// policy.
+func TestRunnerPanicStopsBatchWithoutKeepGoing(t *testing.T) {
+	ran := false
+	results, err := Runner{}.Run(context.Background(), []Job{
+		{Name: "boom", Run: func(ctx context.Context) (any, error) { panic("kaboom") }},
+		{Name: "after", Run: func(ctx context.Context) (any, error) { ran = true; return nil, nil }},
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Error("batch continued past a panic without KeepGoing")
+	}
+	if len(results) != 1 {
+		t.Errorf("got %d results, want 1", len(results))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -182,6 +183,15 @@ func parallelConfigs(ctx context.Context, cfgs []string, fn func(ci int, cfg str
 		wg.Add(1)
 		go func(ci int, cfg string) {
 			defer wg.Done()
+			// A panic on a fan-out goroutine would kill the process
+			// before the engine runner's job-level recover could see it;
+			// convert it here so it surfaces as this config's error (the
+			// stack is preserved) and the sibling configs still finish.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[ci] = fmt.Errorf("experiments: config %s panicked: %v\n%s", cfg, r, debug.Stack())
+				}
+			}()
 			errs[ci] = fn(ci, cfg)
 		}(ci, cfg)
 	}

@@ -16,8 +16,10 @@ package mapping
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"obm/internal/core"
+	"obm/internal/obs"
 )
 
 // Mapper produces a thread-to-tile mapping for an OBM problem instance.
@@ -47,14 +49,26 @@ type Mapper interface {
 
 // MapAndCheck runs m on p and validates the returned permutation,
 // wrapping any violation with the mapper's name. Experiment harnesses use
-// this so a buggy mapper can never silently corrupt results.
+// this so a buggy mapper can never silently corrupt results. Each
+// invocation is recorded in the process metrics registry — a per-
+// algorithm call counter and wall-time histogram — so a run's mapper
+// budget is visible without one-off timing code (the ablation/scaling
+// experiments still measure their own wall time; these metrics observe,
+// never replace, that).
 func MapAndCheck(ctx context.Context, m Mapper, p *core.Problem) (core.Mapping, error) {
+	name := m.Name()
+	reg := obs.Default()
+	reg.Counter("mapping." + name + ".calls").Inc()
+	start := time.Now()
 	mp, err := m.Map(ctx, p)
+	reg.Timer("mapping." + name + ".seconds").Since(start)
 	if err != nil {
-		return nil, fmt.Errorf("mapping: %s: %w", m.Name(), err)
+		reg.Counter("mapping." + name + ".errors").Inc()
+		return nil, fmt.Errorf("mapping: %s: %w", name, err)
 	}
 	if err := mp.Validate(p.N()); err != nil {
-		return nil, fmt.Errorf("mapping: %s produced invalid mapping: %w", m.Name(), err)
+		reg.Counter("mapping." + name + ".errors").Inc()
+		return nil, fmt.Errorf("mapping: %s produced invalid mapping: %w", name, err)
 	}
 	return mp, nil
 }

@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"testing"
+
+	"obm/internal/mesh"
+	"obm/internal/obs"
+	"obm/internal/stats"
+)
+
+// TestMetricsMatchStats pins the flush invariant: after a simulation's
+// final Stats snapshot, the registry deltas for cycles and flits equal
+// the snapshot's own totals exactly — the obs view and the simulator's
+// existing Stats view can never disagree.
+func TestMetricsMatchStats(t *testing.T) {
+	before := obs.Default().Snapshot()
+	bNets, _ := before.Counter("noc.networks.created")
+	bCycles, _ := before.Counter("noc.cycles.stepped")
+	bInj, _ := before.Counter("noc.flits.injected")
+	bDel, _ := before.Counter("noc.flits.delivered")
+
+	n := MustNew(testConfig())
+	rng := stats.NewRand(7)
+	tiles := n.Mesh().NumTiles()
+	for i := 0; i < 200; i++ {
+		pt := CacheRequest
+		if i%3 == 0 {
+			pt = CacheReply
+		}
+		p := &Packet{Src: mesh.Tile(rng.Intn(tiles)), Dst: mesh.Tile(rng.Intn(tiles)), Type: pt, App: 0}
+		if err := n.Inject(p); err != nil {
+			t.Fatal(err)
+		}
+		n.Step()
+	}
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats() // flushes
+
+	after := obs.Default().Snapshot()
+	aNets, _ := after.Counter("noc.networks.created")
+	aCycles, _ := after.Counter("noc.cycles.stepped")
+	aInj, _ := after.Counter("noc.flits.injected")
+	aDel, _ := after.Counter("noc.flits.delivered")
+	if got := aNets - bNets; got != 1 {
+		t.Errorf("networks.created delta = %d, want 1", got)
+	}
+	if got, want := aCycles-bCycles, uint64(s.Cycles); got != want {
+		t.Errorf("cycles delta = %d, want Stats total %d", got, want)
+	}
+	if got, want := aInj-bInj, uint64(s.InjectedFlits); got != want {
+		t.Errorf("injected-flit delta = %d, want Stats total %d", got, want)
+	}
+	if got, want := aDel-bDel, uint64(s.DeliveredFlits); got != want {
+		t.Errorf("delivered-flit delta = %d, want Stats total %d", got, want)
+	}
+	if peak, ok := after.Gauge("noc.eventring.peak_inflight"); !ok || peak <= 0 {
+		t.Errorf("eventring peak = %d,%v; traffic flowed, want > 0", peak, ok)
+	}
+
+	// Repeated snapshots flush only deltas: an immediate second Stats
+	// adds nothing.
+	_ = n.Stats()
+	again := obs.Default().Snapshot()
+	if v, _ := again.Counter("noc.flits.injected"); v != aInj {
+		t.Errorf("idle re-snapshot moved injected counter %d -> %d", aInj, v)
+	}
+}
+
+// TestMetricsResetStatsDiscardsWarmup checks the ResetStats contract:
+// the warmup window disappears from the registry totals just as it
+// does from Stats, so the two views stay equal, while cycle counting
+// (which ResetStats does not rewind) keeps the full span.
+func TestMetricsResetStatsDiscardsWarmup(t *testing.T) {
+	before := obs.Default().Snapshot()
+	bInj, _ := before.Counter("noc.flits.injected")
+	bCycles, _ := before.Counter("noc.cycles.stepped")
+
+	n := MustNew(testConfig())
+	inject := func(k int) {
+		for i := 0; i < k; i++ {
+			if err := n.Inject(&Packet{Src: 0, Dst: 15, Type: CacheRequest, App: 0}); err != nil {
+				t.Fatal(err)
+			}
+			n.Step()
+		}
+	}
+	inject(50) // warmup traffic, never flushed
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetStats()
+	inject(30) // measured window
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+
+	after := obs.Default().Snapshot()
+	aInj, _ := after.Counter("noc.flits.injected")
+	aCycles, _ := after.Counter("noc.cycles.stepped")
+	if got, want := aInj-bInj, uint64(s.InjectedFlits); got != want {
+		t.Errorf("injected delta = %d, want measured-window total %d (warmup discarded)", got, want)
+	}
+	if got, want := aCycles-bCycles, uint64(s.Cycles); got != want {
+		t.Errorf("cycles delta = %d, want full span %d", got, want)
+	}
+}

@@ -72,6 +72,15 @@ type Network struct {
 	// stops allocating.
 	pool []*Packet
 
+	// flushed tracks what has already been exported to the obs registry
+	// (see metrics.go); maxInFlight is the calendar-queue occupancy
+	// high-water mark, maintained with a plain compare on the flit-send
+	// path and exported at flush time.
+	flushed struct {
+		cycles, injectedFlits, deliveredFlits int64
+	}
+	maxInFlight int
+
 	// onDeliver, when set, runs for every delivered packet (tail eject).
 	onDeliver func(*Packet)
 }
@@ -111,6 +120,7 @@ func New(cfg Config) (*Network, error) {
 		n.routers[t] = newRouter(t, n)
 		n.nis[t] = newNI(t, n)
 	}
+	mNetworks.Inc()
 	// Wire up neighbours; torus mode wraps the edges.
 	wrap := func(v, size int) (int, bool) {
 		switch {
@@ -162,8 +172,11 @@ func (n *Network) Cycle() int64 { return n.cycle }
 // Stats returns a snapshot of the accumulated statistics. Every nested
 // container — per-type and per-app slices, link flit counts, and
 // histogram bucket storage — is deep-copied, so the snapshot stays
-// frozen while the simulation continues.
+// frozen while the simulation continues. Taking a snapshot also
+// flushes the counter deltas since the previous one to the process
+// metrics registry (obs) — the hot loop itself never pays for metrics.
 func (n *Network) Stats() Stats {
+	n.flushMetrics()
 	s := n.stats
 	s.Cycles = n.cycle
 	s.ByApp = append([]TypeStats(nil), n.stats.ByApp...)
@@ -187,6 +200,12 @@ func (n *Network) Stats() Stats {
 // first few cycles — standard practice for warm measurement windows.
 func (n *Network) ResetStats() {
 	n.stats = Stats{}
+	// Flit counts restart from zero with the fresh window; dropping the
+	// flushed marks too keeps the registry totals equal to the sum of
+	// final Stats snapshots (the warmup window is discarded from both).
+	// Cycles keep running — n.cycle is not reset — so their flushed
+	// mark stays.
+	n.flushed.injectedFlits, n.flushed.deliveredFlits = 0, 0
 }
 
 // SetDeliveryHandler registers f to run whenever a packet's tail flit
@@ -390,6 +409,9 @@ func (n *Network) sendFlit(now int64, r *router, p Port, outVC int, f flit) {
 		f:      f,
 	})
 	n.inFlight++
+	if n.inFlight > n.maxInFlight {
+		n.maxInFlight = n.inFlight
+	}
 }
 
 // eject consumes a flit at its destination's local port.

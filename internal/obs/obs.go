@@ -1,0 +1,265 @@
+// Package obs is the repository's self-measurement substrate: a
+// dependency-free, concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms) with timer helpers and a stable Snapshot
+// form for rendering and JSON export.
+//
+// Design rules, in the spirit of the engine layer's contract:
+//
+//   - Zero-cost when unobserved, near-zero when observed: every metric
+//     update is a single atomic operation (or a short CAS loop for
+//     float sums) with no allocation, so hot loops can record
+//     unconditionally. Subsystems with per-cycle hot paths (the NoC
+//     simulator) batch locally and flush deltas at natural snapshot
+//     boundaries instead of paying even an atomic per cycle.
+//   - Metrics never influence results: recording reads the clock at
+//     most, never an algorithm's random stream, so an instrumented run
+//     stays bit-identical to an uninstrumented one.
+//   - Snapshots are deterministic: metrics are reported sorted by name,
+//     so two snapshots of a quiescent registry are deep-equal and
+//     marshal to identical JSON (the obsim.metrics/v1 block relies on
+//     this).
+//
+// Each metric's fields are individually atomic; a snapshot taken while
+// writers are active is a consistent-per-field approximation and is
+// exact whenever the registry is quiescent (end of a run, which is when
+// cmd/obmsim reads it).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (queue depth, high-water mark).
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v exceeds the current value
+// (lock-free high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-layout bucketed distribution. Bucket i counts
+// observations v with bounds[i-1] < v <= bounds[i] (bucket 0 counts
+// v <= bounds[0]); one implicit overflow bucket counts v > bounds[last].
+// The layout is fixed at creation, so concurrent observation is a pair
+// of atomic adds plus a CAS loop for the float sum — no allocation, no
+// lock.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; immutable after creation
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// newHistogram builds a histogram with the given ascending upper
+// bounds (a defensive copy is taken).
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: upper-inclusive bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Timer records durations, in seconds, into a histogram.
+type Timer struct{ h *Histogram }
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Since records the time elapsed since start.
+func (t *Timer) Since(start time.Time) { t.Observe(time.Since(start)) }
+
+// DefTimeBuckets is the default bucket layout for timers: exponential
+// from 1µs to ~17 minutes, factor 4. Mapper invocations, replica jobs,
+// and whole experiments all land comfortably inside it.
+func DefTimeBuckets() []float64 {
+	b := make([]float64, 15)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}
+
+// LinearBuckets returns n ascending upper bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExpBuckets returns n ascending upper bounds start, start·factor, …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// Registry is a named collection of metrics. Metrics are get-or-create
+// by name: the first caller fixes the kind (and, for histograms, the
+// bucket layout); later callers share the same instance. Safe for
+// concurrent use; hot paths should capture the returned pointer once
+// rather than looking it up per event.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter named name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram named name, creating it with the
+// given bucket bounds on first use (later calls ignore bounds and
+// share the existing layout).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Timer returns a duration recorder backed by the histogram named name
+// (created with DefTimeBuckets on first use).
+func (r *Registry) Timer(name string) *Timer {
+	return &Timer{h: r.Histogram(name, DefTimeBuckets())}
+}
+
+// Reset zeroes every registered metric in place. Pointers captured by
+// subsystems stay registered and keep working, so a long-lived server
+// (or a test) can reset between batches without re-wiring anything.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// defaultRegistry is the process-wide registry every subsystem exports
+// into; cmd/obmsim snapshots it for -metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }

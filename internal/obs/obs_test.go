@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.calls") != c {
+		t.Error("same name should return the same counter")
+	}
+	g := r.Gauge("a.depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if g.Value() != 4 {
+		t.Error("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Error("SetMax did not raise the gauge")
+	}
+}
+
+// TestHistogramBucketEdges pins the bucket boundary semantics: bucket i
+// counts bounds[i-1] < v <= bounds[i]; values above the last bound land
+// in the overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 4.0, 4.0001, 100} {
+		h.Observe(v)
+	}
+	snap, ok := r.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// 0.5 and 1.0 -> bucket 0 (<=1); 1.0001 and 2.0 -> bucket 1 (<=2);
+	// 4.0 -> bucket 2 (<=4); 4.0001 and 100 -> overflow.
+	want := []uint64{2, 2, 1, 2}
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Errorf("bucket counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Count != 7 {
+		t.Errorf("count = %d, want 7", snap.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.0001 + 2 + 4 + 4.0001 + 100; snap.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+	if m := snap.Mean(); m <= 0 {
+		t.Errorf("mean = %v, want > 0", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4, 8})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5) // bucket <=1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3) // bucket <=4
+	}
+	snap, _ := r.Snapshot().Histogram("q")
+	if p50 := snap.Quantile(0.50); p50 != 1 {
+		t.Errorf("p50 = %v, want 1", p50)
+	}
+	if p99 := snap.Quantile(0.99); p99 != 4 {
+		t.Errorf("p99 = %v, want 4", p99)
+	}
+	// Overflow samples report the last bound, not infinity.
+	h.Observe(1e9)
+	snap, _ = r.Snapshot().Histogram("q")
+	if p := snap.Quantile(1); p != 8 {
+		t.Errorf("max quantile = %v, want last bound 8", p)
+	}
+}
+
+func TestTimerRecordsSeconds(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("work.seconds")
+	tm.Observe(250 * time.Millisecond)
+	tm.Since(time.Now())
+	snap, ok := r.Snapshot().Histogram("work.seconds")
+	if !ok {
+		t.Fatal("timer histogram missing")
+	}
+	if snap.Count != 2 {
+		t.Fatalf("count = %d, want 2", snap.Count)
+	}
+	if snap.Sum < 0.25 || snap.Sum > 0.5 {
+		t.Errorf("sum = %v seconds, want ~0.25", snap.Sum)
+	}
+}
+
+// TestSnapshotDeterminism checks two snapshots of a quiescent registry
+// are deep-equal and marshal to identical, name-sorted JSON.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	// Register in non-alphabetical order.
+	r.Counter("z.last").Add(3)
+	r.Counter("a.first").Add(1)
+	r.Gauge("m.mid").Set(-2)
+	r.Histogram("k.hist", []float64{1, 10}).Observe(5)
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("snapshots of a quiescent registry differ")
+	}
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Error("snapshot JSON not byte-identical")
+	}
+	if s1.Counters[0].Name != "a.first" || s1.Counters[1].Name != "z.last" {
+		t.Errorf("counters not sorted by name: %+v", s1.Counters)
+	}
+}
+
+func TestSnapshotLookupHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(3)
+	s := r.Snapshot()
+	if v, ok := s.Counter("c"); !ok || v != 2 {
+		t.Errorf("Counter(c) = %d,%v", v, ok)
+	}
+	if _, ok := s.Counter("nope"); ok {
+		t.Error("missing counter found")
+	}
+	if v, ok := s.Gauge("g"); !ok || v != 3 {
+		t.Errorf("Gauge(g) = %d,%v", v, ok)
+	}
+	if _, ok := s.Histogram("nope"); ok {
+		t.Error("missing histogram found")
+	}
+}
+
+// TestResetZeroesInPlace checks Reset keeps captured metric pointers
+// registered and working — the contract subsystems with package-level
+// metric vars rely on.
+func TestResetZeroesInPlace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("kept")
+	h := r.Histogram("kept.hist", []float64{1})
+	c.Add(10)
+	h.Observe(0.5)
+	r.Reset()
+	s := r.Snapshot()
+	if v, ok := s.Counter("kept"); !ok || v != 0 {
+		t.Errorf("after reset: counter = %d,%v; want 0,true", v, ok)
+	}
+	if hs, ok := s.Histogram("kept.hist"); !ok || hs.Count != 0 || hs.Sum != 0 {
+		t.Errorf("after reset: histogram = %+v,%v", hs, ok)
+	}
+	// The captured pointers must still feed the same registry entries.
+	c.Inc()
+	h.Observe(2)
+	s = r.Snapshot()
+	if v, _ := s.Counter("kept"); v != 1 {
+		t.Errorf("captured counter detached after reset: %d", v)
+	}
+	if hs, _ := s.Histogram("kept.hist"); hs.Count != 1 {
+		t.Errorf("captured histogram detached after reset: %+v", hs)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := LinearBuckets(1, 2, 3); !reflect.DeepEqual(got, []float64{1, 3, 5}) {
+		t.Errorf("LinearBuckets = %v", got)
+	}
+	if got := ExpBuckets(1, 10, 3); !reflect.DeepEqual(got, []float64{1, 10, 100}) {
+		t.Errorf("ExpBuckets = %v", got)
+	}
+	b := DefTimeBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("DefTimeBuckets not ascending at %d: %v", i, b)
+		}
+	}
+}
+
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Error("Default registry should be one stable instance")
+	}
+}

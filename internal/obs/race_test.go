@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// get-or-create races on shared and distinct names, mixed metric kinds,
+// concurrent snapshots and resets — and then checks the quiescent
+// totals. Run under -race (make check does) this is the registry's
+// thread-safety proof; it mirrors how parallel replica workers and
+// config fan-outs all record through the process-wide Default registry.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker races get-or-create on the shared names and
+			// owns one private counter; snapshots interleave throughout.
+			own := r.Counter(fmt.Sprintf("worker.%d", w))
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.calls").Inc()
+				r.Gauge("shared.depth").Add(1)
+				r.Gauge("shared.depth").Add(-1)
+				r.Gauge("shared.max").SetMax(int64(i))
+				r.Histogram("shared.lat", []float64{0.25, 0.5, 1}).Observe(float64(i%3) / 2)
+				r.Timer("shared.seconds").Observe(0)
+				own.Inc()
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if v, _ := s.Counter("shared.calls"); v != workers*perWorker {
+		t.Errorf("shared.calls = %d, want %d", v, workers*perWorker)
+	}
+	if v, _ := s.Gauge("shared.depth"); v != 0 {
+		t.Errorf("shared.depth = %d, want 0 (paired adds)", v)
+	}
+	if v, _ := s.Gauge("shared.max"); v != perWorker-1 {
+		t.Errorf("shared.max = %d, want %d", v, perWorker-1)
+	}
+	h, _ := s.Histogram("shared.lat")
+	if h.Count != workers*perWorker {
+		t.Errorf("shared.lat count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, c := range h.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != h.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, h.Count)
+	}
+	for w := 0; w < workers; w++ {
+		if v, _ := s.Counter(fmt.Sprintf("worker.%d", w)); v != perWorker {
+			t.Errorf("worker.%d = %d, want %d", w, v, perWorker)
+		}
+	}
+}
+
+// TestResetDuringTraffic checks Reset is safe while writers are active
+// (no torn state, no panic); exact values are unasserted because the
+// interleaving is unordered by design.
+func TestResetDuringTraffic(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("noisy")
+			h := r.Histogram("noisy.h", []float64{1})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.5)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Reset()
+		_ = r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}

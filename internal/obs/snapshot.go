@@ -1,0 +1,145 @@
+package obs
+
+import "sort"
+
+// Snapshot is a stable, renderable copy of a registry's state. Metric
+// slices are sorted by name, so a quiescent registry snapshots
+// deterministically (deep-equal, byte-identical JSON). The JSON form
+// is the payload of cmd/obmsim's obsim.metrics/v1 block.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// CounterSnap is one counter's reading.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's reading.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram's full state: Counts[i] pairs with
+// Bounds[i]; the final extra element of Counts is the overflow bucket.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistogramSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0..1): the
+// bucket boundary at which the cumulative count reaches q·Count.
+// Samples in the overflow bucket report the last bound.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Counter returns the named counter's value and whether it exists.
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value and whether it exists.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram's snapshot and whether it
+// exists.
+func (s Snapshot) Histogram(name string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+// Snapshot copies the registry's current state. Empty metrics are
+// included (a created counter reports 0), so a snapshot's shape depends
+// only on what was registered, not on activity.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make([]CounterSnap, 0, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+		}
+		sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make([]GaugeSnap, 0, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+		}
+		sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make([]HistogramSnap, 0, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnap{
+				Name:   name,
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]uint64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms = append(s.Histograms, hs)
+		}
+		sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	}
+	return s
+}

@@ -9,6 +9,17 @@ import (
 	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/mapping"
+	"obm/internal/obs"
+)
+
+// Process-wide cache metrics (every Cache instance feeds them; in
+// practice one shared cache lives per process). Exported so the
+// cmd/obmsim metrics block can report artifact reuse next to the NoC
+// and replica counters.
+var (
+	mHits     = obs.Default().Counter("scenario.cache.hits")
+	mMisses   = obs.Default().Counter("scenario.cache.misses")
+	mInflight = obs.Default().Gauge("scenario.cache.inflight")
 )
 
 // Artifact is one memoized mapper invocation: the validated mapping and
@@ -45,14 +56,18 @@ type entry struct {
 // builds its own) share artifacts, and a cached result is bit-identical
 // to a recomputed one because mappers are deterministic by contract.
 //
-// Errors are not cached: a failed or cancelled computation removes the
-// slot so a later request retries (waiters that joined the failed
-// flight do share its error).
+// Errors are not cached: a failed, cancelled, or panicking computation
+// removes the slot so a later request retries (waiters that joined the
+// failed flight do share its error).
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 
-	hits, misses atomic.Uint64
+	// hits/misses are guarded by mu (not independent atomics) so a
+	// Stats snapshot is one coherent pair — hits+misses equals the
+	// number of successfully served requests plus started computations,
+	// never a torn mix of before/after two racing updates.
+	hits, misses uint64
 }
 
 // NewCache returns an empty cache.
@@ -79,16 +94,50 @@ func (c *Cache) MapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) 
 		if e.err != nil {
 			return nil, core.Evaluation{}, e.err
 		}
-		c.hits.Add(1)
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		mHits.Inc()
 		engine.ReportSkipped(ctx, "cached:"+m.Name())
 		art := e.art.clone()
 		return art.Mapping, art.Eval, nil
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[key] = e
+	c.misses++
 	c.mu.Unlock()
+	mMisses.Inc()
+	mInflight.Add(1)
+	return c.compute(ctx, key, e, p, m)
+}
 
-	c.misses.Add(1)
+// compute runs the mapper for the entry this caller owns and finalizes
+// it exactly once, however the computation ends — success, error, or
+// panic. The deferred completion is what makes the singleflight
+// panic-safe: without it a panic in the mapper (or in Evaluate) would
+// leave e.done forever open, deadlocking every waiter on the key and
+// permanently leaking the slot. A panic is converted into an error the
+// waiters can return, the slot is evicted so a later request retries,
+// and then the panic is re-raised on the owning goroutine — the
+// repository's panic policy (programmer error stays loud) is preserved
+// while no bystander can hang on it.
+func (c *Cache) compute(ctx context.Context, key string, e *entry, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
+	completed := false
+	defer func() {
+		mInflight.Add(-1)
+		if completed {
+			return
+		}
+		r := recover()
+		e.err = fmt.Errorf("scenario: computing %s artifact panicked: %v", m.Name(), r)
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
 	mp, err := mapping.MapAndCheck(ctx, m, p)
 	if err != nil {
 		e.err = err
@@ -96,18 +145,25 @@ func (c *Cache) MapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) 
 		delete(c.entries, key)
 		c.mu.Unlock()
 		close(e.done)
+		completed = true
 		return nil, core.Evaluation{}, err
 	}
 	e.art = Artifact{Mapping: mp, Eval: p.Evaluate(mp)}
 	close(e.done)
+	completed = true
 	art := e.art.clone()
 	return art.Mapping, art.Eval, nil
 }
 
-// Stats returns the cumulative hit and miss counts. Misses equal the
-// number of actual mapper invocations performed through the cache.
+// Stats returns the cumulative hit and miss counts, read under one
+// lock so the pair is coherent — a concurrent snapshot can never show
+// a torn hits/misses mix that disagrees with the requests actually
+// served. Misses equal the number of mapper invocations started
+// through the cache.
 func (c *Cache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // Len returns the number of completed-or-in-flight artifacts held.
