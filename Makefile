@@ -16,9 +16,12 @@ test-short:
 bench:
 	go test -bench=. -benchmem .
 
-# Record the simulator benchmarks (best of 3) as BENCH_noc.json.
+# Record the simulator and mapper benchmarks (best of $(BENCH_COUNT))
+# as BENCH_noc.json and BENCH_mapping.json.
+BENCH_COUNT ?= 3
 bench-json:
-	go test -run '^$$' -bench 'NoC|Fig8|Fig9' -benchmem -count=3 . | go run ./cmd/benchjson -out BENCH_noc.json
+	go test -run '^$$' -bench 'NoC|Fig8|Fig9' -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -out BENCH_noc.json
+	go test -run '^$$' -bench '^BenchmarkSSSMap$$|^BenchmarkAnnealingMap$$|^BenchmarkMonteCarlo$$' -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -out BENCH_mapping.json
 
 # Everything CI gates on: vet, staticcheck (when installed), build, the
 # full test suite, and the race detector over the packages that fan

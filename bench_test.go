@@ -560,6 +560,37 @@ func BenchmarkLowerBound(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteCarlo times the serial draw at the paper's 10^4-sample
+// budget. Allocations are reported: the sampler draws every trial into
+// one scratch mapping and scores it with a reusable Scorer, so
+// allocs/op stays a small constant (clones of improving samples) rather
+// than growing with the sample count.
+func BenchmarkMonteCarlo(b *testing.B) {
+	p := paperProblem(b, "C1")
+	m := mapping.MonteCarlo{Samples: 10_000, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Map(context.Background(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnealingMap times one simulated-annealing solve at the
+// SSS-equivalent 18k-iteration budget (the delta-tracker hot path).
+func BenchmarkAnnealingMap(b *testing.B) {
+	p := paperProblem(b, "C1")
+	m := mapping.Annealing{Iters: 18_000, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Map(context.Background(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMonteCarloParallel compares the share-nothing fan-out
 // against the serial draw at the paper's 10^4-sample budget.
 func BenchmarkMonteCarloParallel(b *testing.B) {

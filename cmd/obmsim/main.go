@@ -6,6 +6,8 @@
 //	obmsim -exp all               # everything, in order
 //	obmsim -list                  # show available experiments
 //	obmsim -exp fig9 -configs C1,C2 -quick -csv out.csv
+//	obmsim -exp objective                # mapper x objective grid
+//	obmsim -exp fig9 -objective dev      # optimize dev-APL instead of max-APL
 //	obmsim -exp fig3,fig9 -svgdir figs   # also write SVG figures
 //	obmsim -exp all -timeout 2m -progress # bounded run with a stderr ticker
 //	obmsim -exp all -quick -metrics       # print the run's metrics table
@@ -41,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/experiments"
 	"obm/internal/obs"
@@ -91,21 +94,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("obmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "", "experiment ID (see -list), or 'all'")
-		list     = fs.Bool("list", false, "list available experiments")
-		quick    = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
-		seed     = fs.Uint64("seed", 1, "base random seed")
-		configs  = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
-		csvPath  = fs.String("csv", "", "also write CSV output to this file")
-		svgDir   = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
-		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
-		progress = fs.Bool("progress", false, "print throttled progress events to stderr")
-		jsonPath = fs.String("json", "", "write all results as one JSON document to this file")
-		jsonDir  = fs.String("jsondir", "", "write each experiment's JSON document to <dir>/<id>.json")
-		metrics  = fs.Bool("metrics", false, "print the run's metrics table and embed an obsim.metrics/v1 block in -json output")
-		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		exp       = fs.String("exp", "", "experiment ID (see -list), or 'all'")
+		list      = fs.Bool("list", false, "list available experiments")
+		quick     = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		configs   = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
+		objective = fs.String("objective", "", "optimization objective for the optimizing mappers: max (default), dev, global, ratio, or weighted:max=1,dev=2")
+		csvPath   = fs.String("csv", "", "also write CSV output to this file")
+		svgDir    = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
+		progress  = fs.Bool("progress", false, "print throttled progress events to stderr")
+		jsonPath  = fs.String("json", "", "write all results as one JSON document to this file")
+		jsonDir   = fs.String("jsondir", "", "write each experiment's JSON document to <dir>/<id>.json")
+		metrics   = fs.Bool("metrics", false, "print the run's metrics table and embed an obsim.metrics/v1 block in -json output")
+		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -149,6 +153,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	if *configs != "" {
 		opts.Configs = strings.Split(*configs, ",")
+	}
+	if *objective != "" {
+		obj, err := core.ParseObjective(*objective)
+		if err != nil {
+			fmt.Fprintln(stderr, "obmsim:", err)
+			return 2
+		}
+		opts.Objective = obj
 	}
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(stderr, "obmsim:", err)

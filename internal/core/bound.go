@@ -22,6 +22,12 @@ import (
 // The returned bound is the larger of the two. Experiments use it to
 // report how close sort-select-swap gets to optimal without needing an
 // (exponential) exact solve.
+//
+// The bound is specific to the default max-APL Objective: both
+// relaxations argue about the largest per-application APL and say
+// nothing about dev-APL, the min/max ratio, or composites (Exact
+// likewise only prunes with it under the default objective). A g-APL
+// lower bound is the second relaxation alone.
 func (p *Problem) LowerBound() (float64, error) {
 	best := 0.0
 	// Relaxation 1: each application alone on the chip.

@@ -33,6 +33,9 @@ type Options struct {
 	// Configs restricts which of C1..C8 run; nil means the experiment's
 	// paper-default set.
 	Configs []string
+	// Objective selects the cost the optimizing mappers minimize; nil
+	// keeps the paper's max-APL everywhere.
+	Objective core.Objective
 }
 
 // Validate fails fast on malformed options — in particular an unknown
@@ -63,7 +66,7 @@ func (o Options) Spec(def ...string) (scenario.Spec, error) {
 	if err != nil {
 		return scenario.Spec{}, err
 	}
-	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed}, nil
+	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed, Objective: o.Objective}, nil
 }
 
 // Result is what every experiment returns.

@@ -26,16 +26,21 @@ type Annealing struct {
 	// schedule ending near 1e-4*T0 after Iters steps.
 	Cooling float64
 	Seed    uint64
+	// Objective selects the cost the annealer minimizes; nil is the
+	// paper's max-APL (published behavior, bit-identical).
+	Objective core.Objective
 }
 
 // Name implements Mapper.
-func (a Annealing) Name() string { return fmt.Sprintf("SA(%d)", a.Iters) }
+func (a Annealing) Name() string {
+	return fmt.Sprintf("SA(%d)%s", a.Iters, objName(a.Objective))
+}
 
 // Fingerprint implements Mapper. T0 and Cooling are printed raw (0
 // selects the automatic schedule, which is itself a deterministic
 // function of the problem and seed).
 func (a Annealing) Fingerprint() string {
-	return fmt.Sprintf("sa(iters=%d,t0=%g,cooling=%g,seed=%d)", a.Iters, a.T0, a.Cooling, a.Seed)
+	return fmt.Sprintf("sa(iters=%d,t0=%g,cooling=%g,seed=%d%s)", a.Iters, a.T0, a.Cooling, a.Seed, objFingerprint(a.Objective))
 }
 
 // saPollMask sets how often the iteration loop polls cancellation and
@@ -53,13 +58,13 @@ func (a Annealing) Map(ctx context.Context, p *core.Problem) (core.Mapping, erro
 	rng := stats.NewRand(a.Seed)
 	n := p.N()
 	cur := core.RandomMapping(n, rng)
-	tr := newTracker(p, cur)
+	tr := newObjectiveTracker(p, cur, a.Objective)
 
 	t0 := a.T0
 	if t0 <= 0 {
 		// A move changes the objective by at most a few cycles; starting at
 		// ~5% of the initial objective accepts most early uphill moves.
-		t0 = 0.05 * tr.maxAPL()
+		t0 = 0.05 * tr.value()
 		if t0 <= 0 {
 			t0 = 1
 		}
@@ -71,7 +76,7 @@ func (a Annealing) Map(ctx context.Context, p *core.Problem) (core.Mapping, erro
 	}
 
 	best := cur.Clone()
-	bestObj := tr.maxAPL()
+	bestObj := tr.value()
 	curObj := bestObj
 	temp := t0
 	for it := 0; it < a.Iters; it++ {
@@ -86,7 +91,7 @@ func (a Annealing) Map(ctx context.Context, p *core.Problem) (core.Mapping, erro
 		if j2 >= j1 {
 			j2++
 		}
-		obj := tr.swapObjective(j1, j2)
+		obj := tr.swapValue(j1, j2)
 		accept := obj <= curObj
 		if !accept && temp > 0 {
 			accept = rng.Float64() < math.Exp((curObj-obj)/temp)

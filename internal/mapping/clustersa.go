@@ -28,6 +28,11 @@ type ClusterSA struct {
 	// Iters is the number of proposed cluster swaps (default 2000).
 	Iters int
 	Seed  uint64
+	// Objective selects the cost the cluster annealer minimizes; nil is
+	// the paper's max-APL. The within-cluster SAM placement stays
+	// objective-agnostic (per-app total cost is what every objective is
+	// built from).
+	Objective core.Objective
 }
 
 // Name implements Mapper.
@@ -36,7 +41,7 @@ func (c ClusterSA) Name() string {
 	if cs == 0 {
 		cs = 4
 	}
-	return fmt.Sprintf("ClusterSA(%d)", cs)
+	return fmt.Sprintf("ClusterSA(%d)%s", cs, objName(c.Objective))
 }
 
 // Fingerprint implements Mapper, with defaults resolved so the zero
@@ -50,7 +55,7 @@ func (c ClusterSA) Fingerprint() string {
 	if iters <= 0 {
 		iters = 2000
 	}
-	return fmt.Sprintf("clustersa(cs=%d,iters=%d,seed=%d)", cs, iters, c.Seed)
+	return fmt.Sprintf("clustersa(cs=%d,iters=%d,seed=%d%s)", cs, iters, c.Seed, objFingerprint(c.Objective))
 }
 
 // Map implements Mapper. Every iteration includes at least one
@@ -120,27 +125,34 @@ func (c ClusterSA) Map(ctx context.Context, p *core.Problem) (core.Mapping, erro
 		}
 	}
 
+	objv := core.ObjectiveOrDefault(c.Objective)
+	num := make([]float64, p.NumApps())
 	evaluate := func() (core.Mapping, float64, error) {
 		m := make(core.Mapping, n)
-		// Collect each app's tiles, then SAM.
+		// Collect each app's tiles, then SAM. The raw SAM totals are the
+		// per-app APL numerators, which every objective scores from (for
+		// the default max-APL this is the same cost/weight division and
+		// max as before, bit for bit).
 		tilesOf := make([][]mesh.Tile, p.NumApps())
 		for ci, a := range owner {
 			tilesOf[a] = append(tilesOf[a], clusterTiles[ci]...)
 		}
-		obj := 0.0
 		for i := 0; i < p.NumApps(); i++ {
+			num[i] = 0
 			if len(tilesOf[i]) == 0 {
 				continue
 			}
-			apl, err := p.SolveSAMInto(m, i, tilesOf[i])
+			lo, hi := p.AppThreads(i)
+			assign, cost, err := p.SolveSAM(lo, hi, tilesOf[i])
 			if err != nil {
 				return nil, 0, err
 			}
-			if apl > obj {
-				obj = apl
+			for x, t := range assign {
+				m[lo+x] = t
 			}
+			num[i] = cost
 		}
-		return m, obj, nil
+		return m, objv.Value(p, num), nil
 	}
 
 	rng := stats.NewRand(c.Seed)

@@ -19,10 +19,15 @@ type Exact struct {
 	// bound is hit, Map returns an error rather than a possibly
 	// suboptimal mapping.
 	MaxNodes int64
+	// Objective selects the cost being minimized; nil is the paper's
+	// max-APL. The cheapest-completion lower bound only argues about
+	// max-APL, so a non-default objective searches without pruning
+	// (full enumeration — keep such instances tiny).
+	Objective core.Objective
 }
 
 // Name implements Mapper.
-func (Exact) Name() string { return "Exact" }
+func (e Exact) Name() string { return "Exact" + objName(e.Objective) }
 
 // Fingerprint implements Mapper. MaxNodes is part of the key because
 // hitting the node bound turns a result into an error.
@@ -31,7 +36,7 @@ func (e Exact) Fingerprint() string {
 	if mn <= 0 {
 		mn = 50_000_000
 	}
-	return fmt.Sprintf("exact(maxnodes=%d)", mn)
+	return fmt.Sprintf("exact(maxnodes=%d%s)", mn, objFingerprint(e.Objective))
 }
 
 // Map implements Mapper. The branch-and-bound search polls
@@ -47,12 +52,16 @@ func (e Exact) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 		maxNodes = 50_000_000
 	}
 
-	// Seed the incumbent with SSS so pruning bites immediately.
-	incumbent, err := (SortSelectSwap{}).Map(ctx, p)
+	// Seed the incumbent with SSS (optimizing the same objective) so
+	// pruning — and under a non-default objective, plain incumbent
+	// comparison — bites immediately.
+	objv := core.ObjectiveOrDefault(e.Objective)
+	prune := core.IsDefaultObjective(e.Objective)
+	incumbent, err := (SortSelectSwap{Objective: e.Objective}).Map(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	bestObj := p.MaxAPL(incumbent)
+	bestObj := p.ObjectiveValue(incumbent, e.Objective)
 	best := incumbent.Clone()
 
 	// Per-thread sorted tile preferences are not needed; the bound uses
@@ -112,22 +121,14 @@ func (e Exact) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 			}
 		}
 		if j == n {
-			obj := 0.0
-			for i := 0; i < p.NumApps(); i++ {
-				if w := p.AppWeight(i); w > 0 {
-					if apl := num[i] / w; apl > obj {
-						obj = apl
-					}
-				}
-			}
-			if obj < bestObj {
+			if obj := objv.Value(p, num); obj < bestObj {
 				bestObj = obj
 				copy(best, cur)
 			}
 			return
 		}
-		if lowerBound(j) >= bestObj-1e-12 {
-			return // cannot beat the incumbent
+		if prune && lowerBound(j) >= bestObj-1e-12 {
+			return // cannot beat the incumbent (max-APL bound only)
 		}
 		app := p.AppOfThread(j)
 		for k := 0; k < n; k++ {

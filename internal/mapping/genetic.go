@@ -25,6 +25,9 @@ type Genetic struct {
 	// Elite is how many best individuals survive unchanged (default 2).
 	Elite int
 	Seed  uint64
+	// Objective selects the fitness being minimized; nil is the paper's
+	// max-APL.
+	Objective core.Objective
 }
 
 // Name implements Mapper.
@@ -36,7 +39,7 @@ func (g Genetic) Name() string {
 	if gen == 0 {
 		gen = 200
 	}
-	return fmt.Sprintf("GA(%dx%d)", pop, gen)
+	return fmt.Sprintf("GA(%dx%d)%s", pop, gen, objName(g.Objective))
 }
 
 // Fingerprint implements Mapper, with defaults resolved so the zero
@@ -55,7 +58,7 @@ func (g Genetic) Fingerprint() string {
 	if elite <= 0 {
 		elite = 2
 	}
-	return fmt.Sprintf("ga(pop=%d,gen=%d,mut=%g,elite=%d,seed=%d)", pop, gens, mut, elite, g.Seed)
+	return fmt.Sprintf("ga(pop=%d,gen=%d,mut=%g,elite=%d,seed=%d%s)", pop, gens, mut, elite, g.Seed, objFingerprint(g.Objective))
 }
 
 // Map implements Mapper. The generation loop polls cancellation once
@@ -83,7 +86,9 @@ func (g Genetic) Map(ctx context.Context, p *core.Problem) (core.Mapping, error)
 	rng := stats.NewRand(g.Seed)
 	n := p.N()
 
-	evaluate := func(m core.Mapping) float64 { return p.MaxAPL(m) }
+	// One reusable Scorer keeps per-individual fitness allocation-free.
+	sc := p.Scorer(g.Objective)
+	evaluate := sc.Score
 
 	cur := make([]indiv, pop)
 	for i := range cur {

@@ -60,21 +60,31 @@ func (Greedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	return m, nil
 }
 
-// BalancedGreedy is the max-APL-aware variant: at each step it maps the
-// next thread of whichever active application currently has the highest
-// projected APL, giving it the best remaining tile. It shows how far a
-// simple greedy gets toward the OBM objective without SSS's swap
-// machinery (one of the DESIGN.md ablations).
-type BalancedGreedy struct{}
+// BalancedGreedy is the objective-aware variant: at each step it picks
+// the most urgent active application and gives its next thread the best
+// remaining tile. Under the default max-APL objective "most urgent" is
+// the application with the highest APL so far (serve the worst-off
+// first, exactly the published heuristic); under any other objective it
+// is the application whose accumulated latency contributes most to the
+// objective — the one whose numerator, if forgiven, would lower the
+// cost the most. It shows how far a simple greedy gets toward the OBM
+// objective without SSS's swap machinery (one of the DESIGN.md
+// ablations).
+type BalancedGreedy struct {
+	// Objective selects the urgency measure; nil is the paper's max-APL.
+	Objective core.Objective
+}
 
 // Name implements Mapper.
-func (BalancedGreedy) Name() string { return "BalancedGreedy" }
+func (bg BalancedGreedy) Name() string { return "BalancedGreedy" + objName(bg.Objective) }
 
 // Fingerprint implements Mapper.
-func (BalancedGreedy) Fingerprint() string { return "balanced-greedy" }
+func (bg BalancedGreedy) Fingerprint() string {
+	return "balanced-greedy" + objFingerprint(bg.Objective)
+}
 
 // Map implements Mapper.
-func (BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
+func (bg BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -83,13 +93,13 @@ func (BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, e
 	used := make([]bool, n)
 
 	// Per-application state: threads sorted descending by rate (heavy
-	// first so they claim good tiles), a cursor, and the numerator so
-	// far.
+	// first so they claim good tiles) and a cursor; numerators so far
+	// live in num (the objective's input vector).
 	type appState struct {
 		order []int
 		next  int
-		num   float64
 	}
+	num := make([]float64, p.NumApps())
 	apps := make([]appState, p.NumApps())
 	for i := range apps {
 		lo, hi := p.AppThreads(i)
@@ -108,19 +118,34 @@ func (BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, e
 		apps[i].order = order
 	}
 
+	objDefault := core.IsDefaultObjective(bg.Objective)
+	var objv core.Objective
+	var pickApp, pickTrial = []int{0}, []float64{0}
+	var curCost float64
+	if !objDefault {
+		objv = core.ObjectiveOrDefault(bg.Objective)
+	}
 	for placed := 0; placed < n; placed++ {
-		// Pick the unfinished application with the highest "APL so far
-		// plus optimistic completion" — serving the worst-off first.
+		// Pick the most urgent unfinished application (first wins on
+		// ties): highest APL so far under the default objective, largest
+		// marginal objective contribution otherwise.
+		if objv != nil {
+			curCost = objv.Value(p, num)
+		}
 		pick := -1
-		worst := -1.0
+		worst := 0.0
 		for i := range apps {
 			if apps[i].next >= len(apps[i].order) {
 				continue
 			}
-			w := p.AppWeight(i)
 			score := 0.0
-			if w > 0 {
-				score = apps[i].num / w
+			if objDefault {
+				if w := p.AppWeight(i); w > 0 {
+					score = num[i] / w
+				}
+			} else {
+				pickApp[0], pickTrial[0] = i, 0
+				score = curCost - objv.ValueWith(p, num, pickApp, pickTrial)
 			}
 			if pick < 0 || score > worst {
 				pick, worst = i, score
@@ -142,7 +167,7 @@ func (BalancedGreedy) Map(ctx context.Context, p *core.Problem) (core.Mapping, e
 		}
 		used[bestK] = true
 		m[j] = mesh.Tile(bestK)
-		a.num += bestCost
+		num[pick] += bestCost
 	}
 	return m, nil
 }

@@ -448,14 +448,14 @@ func TestTrackerConsistency(t *testing.T) {
 		if j1 == j2 {
 			continue
 		}
-		want := tr.swapObjective(j1, j2)
+		want := tr.swapValue(j1, j2)
 		tr.swap(j1, j2)
 		got := p.MaxAPL(tr.m)
 		if math.Abs(got-want) > 1e-9 {
-			t.Fatalf("step %d: swapObjective predicted %.9f, actual %.9f", i, want, got)
+			t.Fatalf("step %d: swapValue predicted %.9f, actual %.9f", i, want, got)
 		}
-		if math.Abs(tr.maxAPL()-got) > 1e-9 {
-			t.Fatalf("step %d: tracker maxAPL %.9f, actual %.9f", i, tr.maxAPL(), got)
+		if math.Abs(tr.value()-got) > 1e-9 {
+			t.Fatalf("step %d: tracker value %.9f, actual %.9f", i, tr.value(), got)
 		}
 	}
 }
@@ -473,11 +473,11 @@ func TestTrackerAssign(t *testing.T) {
 		for x := range perm {
 			tiles[x] = tr.m[perm[order[x]]]
 		}
-		want := tr.assignObjective(perm, tiles)
+		want := tr.assignValue(perm, tiles)
 		tr.assign(perm, tiles)
 		got := p.MaxAPL(tr.m)
 		if math.Abs(got-want) > 1e-9 {
-			t.Fatalf("assignObjective predicted %.9f, actual %.9f", want, got)
+			t.Fatalf("assignValue predicted %.9f, actual %.9f", want, got)
 		}
 		if err := tr.m.Validate(p.N()); err != nil {
 			t.Fatal(err)

@@ -28,16 +28,21 @@ type MonteCarlo struct {
 	// Workers fans evaluation out over this many goroutines; 0 or 1 is
 	// serial, negative selects GOMAXPROCS.
 	Workers int
+	// Objective selects the cost a sample is scored by; nil is the
+	// paper's max-APL.
+	Objective core.Objective
 }
 
 // Name implements Mapper.
-func (mc MonteCarlo) Name() string { return fmt.Sprintf("MC(%d)", mc.Samples) }
+func (mc MonteCarlo) Name() string {
+	return fmt.Sprintf("MC(%d)%s", mc.Samples, objName(mc.Objective))
+}
 
 // Fingerprint implements Mapper. Workers is excluded: the sample
 // partition is fixed by the sample count and seed, so the result is
 // documented to be identical for any worker count.
 func (mc MonteCarlo) Fingerprint() string {
-	return fmt.Sprintf("mc(samples=%d,seed=%d)", mc.Samples, mc.Seed)
+	return fmt.Sprintf("mc(samples=%d,seed=%d%s)", mc.Samples, mc.Seed, objFingerprint(mc.Objective))
 }
 
 // mcPollMask sets how often the sample loop polls cancellation and
@@ -58,7 +63,7 @@ func (mc MonteCarlo) Map(ctx context.Context, p *core.Problem) (core.Mapping, er
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		best, _, err := mcChunk(ctx, rep, nil, p, mc.Samples, mc.Samples, mc.Seed)
+		best, _, err := mcChunk(ctx, rep, nil, p, mc.Objective, mc.Samples, mc.Samples, mc.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +93,7 @@ func (mc MonteCarlo) Map(ctx context.Context, p *core.Problem) (core.Mapping, er
 			defer wg.Done()
 			// Derive a distinct stream per chunk; the derivation depends
 			// only on (Seed, w), keeping results reproducible.
-			best, obj, err := mcChunk(ctx, rep, &done, p, count, mc.Samples, mc.Seed+uint64(w)*0x9e3779b97f4a7c15)
+			best, obj, err := mcChunk(ctx, rep, &done, p, mc.Objective, count, mc.Samples, mc.Seed+uint64(w)*0x9e3779b97f4a7c15)
 			results[w] = chunkResult{best, obj, err}
 		}(w, count)
 	}
@@ -107,11 +112,19 @@ func (mc MonteCarlo) Map(ctx context.Context, p *core.Problem) (core.Mapping, er
 }
 
 // mcChunk evaluates count random mappings from one seed and returns the
-// best with its objective. total is the full sample budget across all
-// chunks (for progress); done, when non-nil, is the shared cross-chunk
-// completion counter.
-func mcChunk(ctx context.Context, rep *engine.Reporter, done *atomic.Int64, p *core.Problem, count, total int, seed uint64) (core.Mapping, float64, error) {
+// best with its objective cost. total is the full sample budget across
+// all chunks (for progress); done, when non-nil, is the shared
+// cross-chunk completion counter.
+//
+// The loop draws every sample into one scratch mapping and scores it
+// with a reusable Scorer, cloning only on improvement — allocations are
+// per improvement (logarithmically many in expectation), not per
+// sample. RandomMappingInto consumes the same draws as RandomMapping,
+// so the winner is bit-identical to the historical per-sample path.
+func mcChunk(ctx context.Context, rep *engine.Reporter, done *atomic.Int64, p *core.Problem, obj core.Objective, count, total int, seed uint64) (core.Mapping, float64, error) {
 	rng := stats.NewRand(seed)
+	sc := p.Scorer(obj)
+	scratch := make(core.Mapping, p.N())
 	var best core.Mapping
 	bestObj := 0.0
 	for s := 0; s < count; s++ {
@@ -125,10 +138,10 @@ func mcChunk(ctx context.Context, rep *engine.Reporter, done *atomic.Int64, p *c
 				rep.Report(s+1, total)
 			}
 		}
-		m := core.RandomMapping(p.N(), rng)
-		obj := p.MaxAPL(m)
-		if best == nil || obj < bestObj {
-			best, bestObj = m, obj
+		core.RandomMappingInto(scratch, rng)
+		cost := sc.Score(scratch)
+		if best == nil || cost < bestObj {
+			best, bestObj = scratch.Clone(), cost
 		}
 	}
 	return best, bestObj, nil

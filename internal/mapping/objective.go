@@ -7,67 +7,69 @@ import (
 
 // tracker maintains the per-application APL numerators of a mapping so
 // that swap-style moves can be evaluated and applied in O(A) instead of
-// O(N). Both the annealer and the sliding-window phase of
-// sort-select-swap use it.
+// O(N). It carries the core.Objective being optimized (nil means the
+// paper's max-APL): the numerators are objective-agnostic state, and
+// every probe delegates scoring to the objective's incremental
+// ValueWith path. The annealer, the sliding-window phase of
+// sort-select-swap, and budgeted refinement all use it.
 type tracker struct {
 	p   *core.Problem
+	obj core.Objective
 	m   core.Mapping
 	num []float64 // per-application total packet latency (APL numerator)
+
+	// scratch backs fullAssignObjective's trial numerators (allocated
+	// lazily; the fallback only triggers for windows spanning >4
+	// applications).
+	scratch []float64
+
+	// probeApps/probeTrial back the slices handed to the objective's
+	// ValueWith on every probe. Literal slices would escape through the
+	// interface call and put one allocation on every annealing step and
+	// window permutation; these fields keep probes allocation-free.
+	probeApps  [4]int
+	probeTrial [4]float64
 }
 
 func newTracker(p *core.Problem, m core.Mapping) *tracker {
-	t := &tracker{p: p, m: m, num: make([]float64, p.NumApps())}
+	return newObjectiveTracker(p, m, nil)
+}
+
+func newObjectiveTracker(p *core.Problem, m core.Mapping, obj core.Objective) *tracker {
+	t := &tracker{p: p, obj: core.ObjectiveOrDefault(obj), m: m, num: make([]float64, p.NumApps())}
 	for j, tile := range m {
 		t.num[p.AppOfThread(j)] += p.ThreadCost(j, tile)
 	}
 	return t
 }
 
-// maxAPL returns the current objective value over active applications.
-func (t *tracker) maxAPL() float64 {
-	var mx float64
-	for i, n := range t.num {
-		if w := t.p.AppWeight(i); w > 0 {
-			if apl := n / w; apl > mx {
-				mx = apl
-			}
-		}
-	}
-	return mx
+// value returns the current objective cost.
+func (t *tracker) value() float64 {
+	return t.obj.Value(t.p, t.num)
 }
 
-// maxAPLWith returns the objective if the numerators of the given
+// valueWith returns the objective cost if the numerators of the given
 // applications were replaced by trial values; apps and trial are parallel
 // slices and may list the same app more than once (later entries win).
-func (t *tracker) maxAPLWith(apps []int, trial []float64) float64 {
-	var mx float64
-	for i, n := range t.num {
-		for x := len(apps) - 1; x >= 0; x-- {
-			if apps[x] == i {
-				n = trial[x]
-				break
-			}
-		}
-		if w := t.p.AppWeight(i); w > 0 {
-			if apl := n / w; apl > mx {
-				mx = apl
-			}
-		}
-	}
-	return mx
+func (t *tracker) valueWith(apps []int, trial []float64) float64 {
+	return t.obj.ValueWith(t.p, t.num, apps, trial)
 }
 
-// swapObjective returns the objective value after hypothetically swapping
+// swapValue returns the objective cost after hypothetically swapping
 // the tiles of threads j1 and j2, without mutating state.
-func (t *tracker) swapObjective(j1, j2 int) float64 {
+func (t *tracker) swapValue(j1, j2 int) float64 {
 	a1, a2 := t.p.AppOfThread(j1), t.p.AppOfThread(j2)
 	t1, t2 := t.m[j1], t.m[j2]
 	d1 := t.p.ThreadCost(j1, t2) - t.p.ThreadCost(j1, t1)
 	d2 := t.p.ThreadCost(j2, t1) - t.p.ThreadCost(j2, t2)
 	if a1 == a2 {
-		return t.maxAPLWith([]int{a1}, []float64{t.num[a1] + d1 + d2})
+		t.probeApps[0] = a1
+		t.probeTrial[0] = t.num[a1] + d1 + d2
+		return t.valueWith(t.probeApps[:1], t.probeTrial[:1])
 	}
-	return t.maxAPLWith([]int{a1, a2}, []float64{t.num[a1] + d1, t.num[a2] + d2})
+	t.probeApps[0], t.probeApps[1] = a1, a2
+	t.probeTrial[0], t.probeTrial[1] = t.num[a1]+d1, t.num[a2]+d2
+	return t.valueWith(t.probeApps[:2], t.probeTrial[:2])
 }
 
 // swap applies the tile swap between threads j1 and j2.
@@ -79,53 +81,53 @@ func (t *tracker) swap(j1, j2 int) {
 	t.m[j1], t.m[j2] = t2, t1
 }
 
-// assignObjective returns the objective after hypothetically re-assigning
-// threads js to tiles ts (parallel slices; each thread currently occupies
-// its own tile in t.m, and the multiset of tiles must be preserved by the
-// caller — it is, since callers permute within a window).
-func (t *tracker) assignObjective(js []int, ts []mesh.Tile) float64 {
+// assignValue returns the objective cost after hypothetically
+// re-assigning threads js to tiles ts (parallel slices; each thread
+// currently occupies its own tile in t.m, and the multiset of tiles must
+// be preserved by the caller — it is, since callers permute within a
+// window).
+func (t *tracker) assignValue(js []int, ts []mesh.Tile) float64 {
 	// Accumulate per-app deltas over the affected threads.
-	var apps [4]int
-	var trial [4]float64
 	cnt := 0
 	for x, j := range js {
 		a := t.p.AppOfThread(j)
 		d := t.p.ThreadCost(j, ts[x]) - t.p.ThreadCost(j, t.m[j])
 		found := false
 		for y := 0; y < cnt; y++ {
-			if apps[y] == a {
-				trial[y] += d
+			if t.probeApps[y] == a {
+				t.probeTrial[y] += d
 				found = true
 				break
 			}
 		}
 		if !found {
-			if cnt == len(apps) {
+			if cnt == len(t.probeApps) {
 				// More than 4 distinct apps cannot occur for 4-thread
-				// windows; fall back to a full evaluation for safety.
+				// windows; 5-thread windows can reach 5, so fall back to
+				// the unbounded path.
 				return t.fullAssignObjective(js, ts)
 			}
-			apps[cnt] = a
-			trial[cnt] = t.num[a] + d
+			t.probeApps[cnt] = a
+			t.probeTrial[cnt] = t.num[a] + d
 			cnt++
 		}
 	}
-	return t.maxAPLWith(apps[:cnt], trial[:cnt])
+	return t.valueWith(t.probeApps[:cnt], t.probeTrial[:cnt])
 }
 
-// fullAssignObjective is the O(N) fallback used only if a window ever
-// touches more than four applications.
+// fullAssignObjective is the fallback used only if a window touches
+// more than four applications: it builds the full trial numerator
+// vector (O(A + window)) and scores it directly, which is correct for
+// any window size and any objective.
 func (t *tracker) fullAssignObjective(js []int, ts []mesh.Tile) float64 {
-	saved := make([]mesh.Tile, len(js))
-	for x, j := range js {
-		saved[x] = t.m[j]
-		t.m[j] = ts[x]
+	if t.scratch == nil {
+		t.scratch = make([]float64, len(t.num))
 	}
-	obj := t.p.MaxAPL(t.m)
+	copy(t.scratch, t.num)
 	for x, j := range js {
-		t.m[j] = saved[x]
+		t.scratch[t.p.AppOfThread(j)] += t.p.ThreadCost(j, ts[x]) - t.p.ThreadCost(j, t.m[j])
 	}
-	return obj
+	return t.obj.Value(t.p, t.scratch)
 }
 
 // assign applies the re-assignment of threads js to tiles ts.
@@ -135,4 +137,24 @@ func (t *tracker) assign(js []int, ts []mesh.Tile) {
 		t.num[a] += t.p.ThreadCost(j, ts[x]) - t.p.ThreadCost(j, t.m[j])
 		t.m[j] = ts[x]
 	}
+}
+
+// objName returns the mapper-name suffix for a non-default objective
+// ("" for the paper's max-APL, so published names are untouched).
+func objName(o core.Objective) string {
+	if core.IsDefaultObjective(o) {
+		return ""
+	}
+	return "{" + o.Name() + "}"
+}
+
+// objFingerprint returns the fingerprint fragment for a mapper's
+// objective: "" for the default max-APL (so every pre-objective
+// fingerprint — and therefore every cached artifact key and golden
+// test — is byte-identical), ",obj=<fp>" otherwise.
+func objFingerprint(o core.Objective) string {
+	if core.IsDefaultObjective(o) {
+		return ""
+	}
+	return ",obj=" + o.Fingerprint()
 }

@@ -1,0 +1,161 @@
+package mapping
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"obm/internal/core"
+	"obm/internal/mesh"
+	"obm/internal/model"
+	"obm/internal/stats"
+	"obm/internal/workload"
+)
+
+// allObjectives is every objective the delta paths must agree with,
+// including a composite (nil exercises the default resolution).
+func allObjectives() []core.Objective {
+	return append(append([]core.Objective{nil}, core.Objectives()...),
+		core.Weighted{Max: 1, Dev: 2, Global: 0.5, Ratio: 3})
+}
+
+// fiveAppProblem builds a 3x3-mesh instance with five applications, the
+// smallest shape where a 5-thread window can span more than four
+// distinct applications and force the tracker's fullAssignObjective
+// fallback.
+func fiveAppProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	lm := model.MustNew(mesh.MustNew(3, 3), model.DefaultParams())
+	rng := stats.NewRand(5)
+	w := &workload.Workload{Name: "five"}
+	for _, size := range []int{2, 2, 2, 2, 1} {
+		app := workload.Application{Name: "a"}
+		for j := 0; j < size; j++ {
+			c := 1 + rng.Float64()*10
+			app.Threads = append(app.Threads, workload.Thread{CacheRate: c, MemRate: 0.4 * c})
+		}
+		w.Apps = append(w.Apps, app)
+	}
+	return core.MustNewProblem(lm, w)
+}
+
+// TestFullAssignObjectiveFiveApps pins the >4-distinct-apps fallback:
+// a window of one thread from each of five applications must be scored
+// by fullAssignObjective, and its prediction must match the brute-force
+// evaluation of the permuted mapping for every objective.
+func TestFullAssignObjectiveFiveApps(t *testing.T) {
+	p := fiveAppProblem(t)
+	rng := stats.NewRand(77)
+	for _, obj := range allObjectives() {
+		name := "default"
+		if obj != nil {
+			name = obj.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 30; trial++ {
+				m := core.RandomMapping(p.N(), rng)
+				tr := newObjectiveTracker(p, m.Clone(), obj)
+				// One thread per application: 5 distinct apps in one window.
+				js := []int{0, 2, 4, 6, 8}
+				ts := make([]mesh.Tile, len(js))
+				order := rng.Perm(len(js))
+				for x := range js {
+					ts[x] = tr.m[js[order[x]]]
+				}
+				want := func() float64 {
+					m2 := tr.m.Clone()
+					for x, j := range js {
+						m2[j] = ts[x]
+					}
+					return p.ObjectiveValue(m2, obj)
+				}()
+				if got := tr.assignValue(js, ts); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: assignValue %v != brute force %v", trial, got, want)
+				}
+				// The direct fallback must agree as well (assignValue may
+				// reach it only after filling its 4-app fast path).
+				if got := tr.fullAssignObjective(js, ts); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: fullAssignObjective %v != brute force %v", trial, got, want)
+				}
+				// And applying the move must land on the predicted value.
+				tr.assign(js, ts)
+				if got := tr.value(); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: value after assign %v != %v", trial, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSSSWindow5FiveApps drives the fallback end-to-end: a 5-tile swap
+// window over a 5-application instance produces a valid mapping whose
+// tracker value matches a from-scratch evaluation.
+func TestSSSWindow5FiveApps(t *testing.T) {
+	p := fiveAppProblem(t)
+	for _, obj := range []core.Objective{nil, core.DevAPL{}} {
+		m, err := (SortSelectSwap{WindowSize: 5, Objective: obj}).Map(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(p.N()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPropertyObjectiveDeltaConsistency is the cross-check `make check`
+// rides on: on random problems and mappings, every objective's
+// incremental swap/window probes must equal the from-scratch value of
+// the mapping with the move applied.
+func TestPropertyObjectiveDeltaConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProblem(seed)
+		rng := stats.NewRand(seed ^ 0xdead)
+		for _, obj := range allObjectives() {
+			m := core.RandomMapping(p.N(), rng)
+			tr := newObjectiveTracker(p, m, obj)
+			for step := 0; step < 20; step++ {
+				j1, j2 := rng.Intn(p.N()), rng.Intn(p.N())
+				if j1 == j2 {
+					continue
+				}
+				predicted := tr.swapValue(j1, j2)
+				m2 := tr.m.Clone()
+				m2[j1], m2[j2] = m2[j2], m2[j1]
+				if want := p.ObjectiveValue(m2, obj); math.Abs(predicted-want) > 1e-9 {
+					t.Logf("seed %d obj %v: swapValue %v != %v", seed, obj, predicted, want)
+					return false
+				}
+				tr.swap(j1, j2)
+			}
+			// Window re-assignment probes (up to 4 threads).
+			for step := 0; step < 10; step++ {
+				k := 2 + rng.Intn(3)
+				if k > p.N() {
+					continue
+				}
+				js := rng.Perm(p.N())[:k]
+				ts := make([]mesh.Tile, k)
+				order := rng.Perm(k)
+				for x := range js {
+					ts[x] = tr.m[js[order[x]]]
+				}
+				predicted := tr.assignValue(js, ts)
+				m2 := tr.m.Clone()
+				for x, j := range js {
+					m2[j] = ts[x]
+				}
+				if want := p.ObjectiveValue(m2, obj); math.Abs(predicted-want) > 1e-9 {
+					t.Logf("seed %d obj %v: assignValue %v != %v", seed, obj, predicted, want)
+					return false
+				}
+				tr.assign(js, ts)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -27,6 +27,13 @@ import (
 // polls ctx between rounds and between window steps, returning a
 // wrapped ctx.Err() when interrupted.
 func ImproveWithBudget(ctx context.Context, p *core.Problem, base core.Mapping, maxMoves int) (core.Mapping, int, error) {
+	return ImproveWithBudgetObjective(ctx, p, base, maxMoves, nil)
+}
+
+// ImproveWithBudgetObjective is ImproveWithBudget refining an arbitrary
+// core.Objective instead of max-APL; a nil obj is ImproveWithBudget
+// exactly (same moves, same result).
+func ImproveWithBudgetObjective(ctx context.Context, p *core.Problem, base core.Mapping, maxMoves int, obj core.Objective) (core.Mapping, int, error) {
 	if err := base.Validate(p.N()); err != nil {
 		return nil, 0, fmt.Errorf("refine: %w", err)
 	}
@@ -52,7 +59,7 @@ func ImproveWithBudget(ctx context.Context, p *core.Problem, base core.Mapping, 
 		return sorted[a] < sorted[b]
 	})
 
-	tr := newTracker(p, m)
+	tr := newObjectiveTracker(p, m, obj)
 	inv := m.InverseOn(n)
 	perms := permutations(4)
 	moved := map[int]bool{}
@@ -87,7 +94,7 @@ func ImproveWithBudget(ctx context.Context, p *core.Problem, base core.Mapping, 
 			return nil, 0, fmt.Errorf("refine: interrupted in round %d: %w", round+1, err)
 		}
 		rep.Report(len(moved), maxMoves)
-		curObj := tr.maxAPL()
+		curObj := tr.value()
 		bestGain := 0.0
 		var bestThreads [window]int
 		var bestTiles [window]mesh.Tile
@@ -116,7 +123,7 @@ func ImproveWithBudget(ctx context.Context, p *core.Problem, base core.Mapping, 
 					if movedCount(threads, trial) > maxMoves {
 						continue // would blow the migration budget
 					}
-					if gain := curObj - tr.assignObjective(threads, trial); gain > bestGain+1e-12 {
+					if gain := curObj - tr.assignValue(threads, trial); gain > bestGain+1e-12 {
 						bestGain = gain
 						copy(bestThreads[:], threads)
 						copy(bestTiles[:], trial)

@@ -77,14 +77,21 @@ type SortSelectSwap struct {
 	Passes int
 	// Seed feeds SelectRandom; unused by the published configuration.
 	Seed uint64
+	// Objective selects the cost the swap phase minimizes and the
+	// pass-convergence check monitors; nil is the paper's max-APL. The
+	// coarse select/SAM phases are objective-agnostic (they tune the
+	// dominant cache traffic, not the objective).
+	Objective core.Objective
 }
 
 // Name implements Mapper.
 func (s SortSelectSwap) Name() string {
+	suffix := objName(s.Objective)
+	s.Objective = nil
 	if s == (SortSelectSwap{}) {
-		return "SSS"
+		return "SSS" + suffix
 	}
-	name := "SSS["
+	name := "SSS" + suffix + "["
 	switch {
 	case s.DisableSwap && s.DisableFinalSAM:
 		name += "select-only"
@@ -126,8 +133,8 @@ func (s SortSelectSwap) Fingerprint() string {
 	if s.Select != SelectRandom {
 		seed = 0
 	}
-	return fmt.Sprintf("sss(swap=%t,finalsam=%t,sel=%s,win=%d,step=%d,passes=%d,seed=%d)",
-		!s.DisableSwap, !s.DisableFinalSAM, s.Select, window, s.MaxStep, passes, seed)
+	return fmt.Sprintf("sss(swap=%t,finalsam=%t,sel=%s,win=%d,step=%d,passes=%d,seed=%d%s)",
+		!s.DisableSwap, !s.DisableFinalSAM, s.Select, window, s.MaxStep, passes, seed, objFingerprint(s.Objective))
 }
 
 // Map implements Mapper. The sliding-window phase (the only
@@ -189,6 +196,7 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 		passes = 1
 	}
 	prevObj := math.Inf(1)
+	sc := p.Scorer(s.Objective)
 	for pass := 0; pass < passes; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sss: interrupted in pass %d/%d: %w", pass+1, passes, err)
@@ -208,7 +216,7 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 		if s.DisableSwap {
 			break // nothing to iterate
 		}
-		if obj := p.MaxAPL(m); obj < prevObj-1e-12 {
+		if obj := sc.Score(m); obj < prevObj-1e-12 {
 			prevObj = obj
 		} else {
 			break
@@ -256,7 +264,7 @@ func selectFromSections(list []mesh.Tile, need int, strat SelectStrategy, rng *s
 // sweep of the sorted list, i.e. O(N * window!) objective probes).
 func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m core.Mapping, sorted []mesh.Tile, window int) error {
 	n := p.N()
-	tr := newTracker(p, m)
+	tr := newObjectiveTracker(p, m, s.Objective)
 	inv := m.InverseOn(n) // tile -> thread
 	perms := permutations(window)
 
@@ -281,7 +289,7 @@ func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m cor
 			}
 			// Try every permutation; keep the best (identity included, so
 			// the objective never worsens).
-			bestObj := tr.maxAPL()
+			bestObj := tr.value()
 			bestPerm := -1
 			for pi, perm := range perms {
 				identity := true
@@ -294,7 +302,7 @@ func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m cor
 				if identity {
 					continue
 				}
-				if obj := tr.assignObjective(threads, trial); obj < bestObj {
+				if obj := tr.assignValue(threads, trial); obj < bestObj {
 					bestObj = obj
 					bestPerm = pi
 				}

@@ -21,6 +21,7 @@
 package scenario
 
 import (
+	"obm/internal/core"
 	"obm/internal/mapping"
 )
 
@@ -66,6 +67,11 @@ type Spec struct {
 	// Seed is the base seed; stochastic components derive their streams
 	// from fixed offsets of it.
 	Seed uint64
+	// Objective selects the cost the spec's optimizing mappers minimize;
+	// nil is the paper's max-APL. A non-default objective flows into
+	// every mapper fingerprint (and therefore every cache key), so
+	// artifacts optimized under different objectives never conflate.
+	Objective core.Objective
 }
 
 // StandardMappers returns the paper's four comparison algorithms
@@ -73,9 +79,9 @@ type Spec struct {
 // simulated annealing, and sort-select-swap.
 func (s Spec) StandardMappers() []mapping.Mapper {
 	return []mapping.Mapper{
-		mapping.Global{},
-		mapping.MonteCarlo{Samples: s.Budget.MCSamples, Seed: s.Seed + 1},
-		mapping.Annealing{Iters: s.Budget.SAIters, Seed: s.Seed + 2},
-		mapping.SortSelectSwap{},
+		mapping.Global{}, // objective-fixed: minimizes g-APL by construction
+		mapping.MonteCarlo{Samples: s.Budget.MCSamples, Seed: s.Seed + 1, Objective: s.Objective},
+		mapping.Annealing{Iters: s.Budget.SAIters, Seed: s.Seed + 2, Objective: s.Objective},
+		mapping.SortSelectSwap{Objective: s.Objective},
 	}
 }

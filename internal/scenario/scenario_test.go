@@ -233,3 +233,54 @@ func TestStandardMappers(t *testing.T) {
 		t.Error("Global fingerprint should not depend on the seed")
 	}
 }
+
+func TestCacheDistinguishesObjectives(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p := testProblem(t, "C1")
+	def := mapping.MonteCarlo{Samples: 500, Seed: 7}
+	alt := mapping.MonteCarlo{Samples: 500, Seed: 7, Objective: core.GAPL{}}
+	if def.Fingerprint() == alt.Fingerprint() {
+		t.Fatalf("objective missing from fingerprint: %s", def.Fingerprint())
+	}
+	if _, _, err := c.MapEval(ctx, p, def); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.MapEval(ctx, p, alt); err != nil {
+		t.Fatal(err)
+	}
+	// Same mapper shape, different objective: two distinct artifacts.
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Errorf("stats = %d hits, %d misses; want 0, 2", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	// And re-requesting either is a hit, not a recompute.
+	if _, _, err := c.MapEval(ctx, p, alt); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Errorf("hits = %d after re-request, want 1", hits)
+	}
+}
+
+func TestStandardMappersObjective(t *testing.T) {
+	def := Spec{Budget: DefaultBudget(true), Seed: 1}
+	alt := def
+	alt.Objective = core.DevAPL{}
+	ms, alts := def.StandardMappers(), alt.StandardMappers()
+	if got := alts[3].Name(); got != "SSS{dev-APL}" {
+		t.Errorf("SSS under dev objective named %q", got)
+	}
+	// Global is objective-fixed; the optimizing mappers must carry the
+	// objective in their fingerprints (distinct cache keys).
+	if ms[0].Fingerprint() != alts[0].Fingerprint() {
+		t.Error("Global fingerprint should not depend on the objective")
+	}
+	for i := 1; i < 4; i++ {
+		if ms[i].Fingerprint() == alts[i].Fingerprint() {
+			t.Errorf("mapper %d fingerprint conflates objectives: %s", i, ms[i].Fingerprint())
+		}
+	}
+}
