@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-json check vet fmt experiments figures clean
+.PHONY: all build test test-short bench bench-json bench-diff check vet fmt experiments figures clean
 
 all: build test
 
@@ -19,16 +19,27 @@ bench:
 # Record the simulator and mapper benchmarks (best of $(BENCH_COUNT))
 # as BENCH_noc.json and BENCH_mapping.json.
 BENCH_COUNT ?= 3
+NOC_BENCH = 'NoC|Fig8|Fig9|Worklist'
+NOC_BENCH_PKGS = . ./internal/noc
+MAPPING_BENCH = '^BenchmarkSSSMap$$|^BenchmarkAnnealingMap$$|^BenchmarkMonteCarlo$$|^BenchmarkEvaluateBatch$$'
 bench-json:
-	go test -run '^$$' -bench 'NoC|Fig8|Fig9' -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -out BENCH_noc.json
-	go test -run '^$$' -bench '^BenchmarkSSSMap$$|^BenchmarkAnnealingMap$$|^BenchmarkMonteCarlo$$' -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -out BENCH_mapping.json
+	go test -run '^$$' -bench $(NOC_BENCH) -benchmem -count=$(BENCH_COUNT) $(NOC_BENCH_PKGS) | go run ./cmd/benchjson -out BENCH_noc.json
+	go test -run '^$$' -bench $(MAPPING_BENCH) -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -out BENCH_mapping.json
+
+# Diff a fresh benchmark run against the committed BENCH_*.json records,
+# printing per-benchmark deltas. Informational only: machine noise moves
+# ns/op by a few percent, so the target never fails — read the deltas
+# (or the CI artifact) instead of gating on them.
+bench-diff:
+	go test -run '^$$' -bench $(NOC_BENCH) -benchmem -count=$(BENCH_COUNT) $(NOC_BENCH_PKGS) | go run ./cmd/benchjson -baseline BENCH_noc.json
+	go test -run '^$$' -bench $(MAPPING_BENCH) -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -baseline BENCH_mapping.json
 
 # Everything CI gates on: vet, staticcheck (when installed), build, the
 # full test suite, and the race detector over the packages that fan
 # work out across goroutines or share mutable state (the obs registry
 # and the scenario cache are exercised by dedicated hammer tests).
 check: vet staticcheck build test
-	go test -race ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/sim/... ./internal/obs/... ./internal/scenario/...
+	go test -race ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/noc/... ./internal/sim/... ./internal/obs/... ./internal/scenario/...
 
 # staticcheck is optional locally (CI installs it); skip with a note
 # rather than failing on machines that don't have it.

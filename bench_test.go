@@ -457,6 +457,47 @@ func BenchmarkNoCStep(b *testing.B) {
 	})
 }
 
+// BenchmarkNoCStepParallel measures the sharded step engine against the
+// serial one on the same loaded 8x8 traffic as BenchmarkNoCStep/loaded.
+// Statistics are bit-identical across the sweep (the golden tests
+// enforce it); only wall clock may differ. Speedup requires real cores:
+// on a single-CPU host the wavefront's cross-row handoffs make the
+// sweep a worst case, so treat these numbers as an upper bound on
+// coordination overhead, not as the scaling result.
+func BenchmarkNoCStepParallel(b *testing.B) {
+	for _, workers := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := noc.DefaultConfig()
+			cfg.Workers = workers
+			net := noc.MustNew(cfg)
+			defer net.Close()
+			rng := stats.NewRand(23)
+			var flits int64
+			launch := func(src, dst mesh.Tile) {
+				p := net.AllocPacket()
+				p.Src, p.Dst, p.Type, p.App = src, dst, noc.CacheReply, 0
+				if err := net.Inject(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			net.SetDeliveryHandler(func(p *noc.Packet) {
+				flits += int64(p.Type.Flits())
+				src := mesh.Tile(rng.Intn(64))
+				dst := mesh.Tile((int(src) + 1 + rng.Intn(63)) % 64)
+				launch(src, dst)
+			})
+			for k := 0; k < 16; k++ {
+				launch(mesh.Tile(4*k), mesh.Tile((4*k+13)%64))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step()
+			}
+			b.ReportMetric(float64(flits)/b.Elapsed().Seconds(), "flits/s")
+		})
+	}
+}
+
 // BenchmarkNoCLoadSweep times one latency-vs-load measurement point at
 // a moderate uniform-random load, the unit of work the loadsweep
 // experiment fans out across cores.
@@ -575,6 +616,44 @@ func BenchmarkMonteCarlo(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEvaluateBatch compares the SoA batch evaluator against the
+// per-mapping Scorer loop it replaces on Monte-Carlo's hot path: 256
+// random mappings scored per op, either one at a time or in one
+// EvaluateBatch pass over the flattened cost table. Both paths produce
+// bit-identical costs (quick.Check-enforced); the batch path trades
+// repeated cost-table gathers for a single thread-major stream.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	p := paperProblem(b, "C1")
+	n := p.N()
+	const batch = 256
+	rng := stats.NewRand(7)
+	flat := make(core.Mapping, batch*n)
+	ms := make([]core.Mapping, batch)
+	for k := range ms {
+		ms[k] = flat[k*n : (k+1)*n]
+		core.RandomMappingInto(ms[k], rng)
+	}
+	out := make([]float64, batch)
+	b.Run("scorer", func(b *testing.B) {
+		sc := p.Scorer(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := range ms {
+				out[k] = sc.Score(ms[k])
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		be := p.BatchEvaluator(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.EvaluateBatch(ms, out)
+		}
+	})
 }
 
 // BenchmarkAnnealingMap times one simulated-annealing solve at the

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	go test -bench 'NoC|Fig8|Fig9' -benchmem -count=3 | go run ./cmd/benchjson -out BENCH_noc.json
+//
+// With -baseline FILE the tool instead diffs the fresh results against a
+// previously recorded JSON file, printing one delta line per benchmark
+// (ns/op, allocs/op, and throughput metrics). The diff is informational
+// — the exit status stays 0 whatever the deltas say — so CI can surface
+// drift without turning machine noise into a gate. -out is only written
+// in diff mode when passed explicitly.
 package main
 
 import (
@@ -110,8 +117,68 @@ func foldMin(cur *float64, v float64) *float64 {
 	return cur
 }
 
+// sortedNames returns the entry names in stable order.
+func sortedNames(entries map[string]*Entry) []string {
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pct formats new relative to old as a signed percentage; positive
+// means new is larger.
+func pct(old, new float64) string {
+	if old == 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%+5.1f%%", 100*(new-old)/old)
+}
+
+// printDiff renders fresh against base, one line per benchmark present
+// in either. The output is advisory: machine noise easily moves ns/op
+// by a few percent, so readers (and CI artifacts) interpret it, not an
+// exit status.
+func printDiff(w io.Writer, base, fresh map[string]*Entry) {
+	all := map[string]bool{}
+	for n := range base {
+		all[n] = true
+	}
+	for n := range fresh {
+		all[n] = true
+	}
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "benchmark diff (fresh vs baseline; + means fresh is larger):\n")
+	for _, n := range names {
+		b, f := base[n], fresh[n]
+		switch {
+		case b == nil:
+			fmt.Fprintf(w, "  %-46s NEW  %12.1f ns/op\n", n, f.NsPerOp)
+		case f == nil:
+			fmt.Fprintf(w, "  %-46s GONE (in baseline at %.1f ns/op)\n", n, b.NsPerOp)
+		default:
+			line := fmt.Sprintf("  %-46s %12.1f -> %12.1f ns/op  %s", n, b.NsPerOp, f.NsPerOp, pct(b.NsPerOp, f.NsPerOp))
+			if b.AllocsPerOp != nil && f.AllocsPerOp != nil {
+				line += fmt.Sprintf("  %5.0f -> %5.0f allocs/op", *b.AllocsPerOp, *f.AllocsPerOp)
+			}
+			if bf, ok := b.Metrics["flits/s"]; ok {
+				if ff, ok := f.Metrics["flits/s"]; ok {
+					line += fmt.Sprintf("  flits/s %s", pct(bf, ff))
+				}
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_noc.json", "output JSON file")
+	baseline := flag.String("baseline", "", "diff fresh results against this recorded JSON instead of writing (exit 0 regardless)")
 	flag.Parse()
 	entries, err := parseBench(os.Stdin)
 	if err != nil {
@@ -121,6 +188,24 @@ func main() {
 	if len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base := map[string]*Entry{}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		printDiff(os.Stdout, base, entries)
+		outSet := false
+		flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
+		if !outSet {
+			return
+		}
 	}
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
@@ -132,13 +217,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	names := make([]string, 0, len(entries))
-	for n := range entries {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	fmt.Printf("wrote %s (%d benchmarks):\n", *out, len(entries))
-	for _, n := range names {
+	for _, n := range sortedNames(entries) {
 		e := entries[n]
 		line := fmt.Sprintf("  %-40s %12.1f ns/op", n, e.NsPerOp)
 		if e.AllocsPerOp != nil {

@@ -63,6 +63,38 @@ func TestParseBenchBadValue(t *testing.T) {
 	}
 }
 
+func TestPrintDiff(t *testing.T) {
+	fresh, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 7800.0
+	allocs := 2.0
+	base := map[string]*Entry{
+		"BenchmarkNoCStep/loaded": {NsPerOp: slower, AllocsPerOp: &allocs, Metrics: map[string]float64{"flits/s": 373984.5}},
+		"BenchmarkGone":           {NsPerOp: 1},
+	}
+	var sb strings.Builder
+	printDiff(&sb, base, fresh)
+	out := sb.String()
+	for _, want := range []string{
+		// 3900 vs 7800 baseline: halved, so -50.0%.
+		"BenchmarkNoCStep/loaded",
+		"-50.0%",
+		"2 ->     0 allocs/op",
+		// flits/s doubled.
+		"flits/s +100.0%",
+		// Present only in one side.
+		"BenchmarkGone", "GONE",
+		"BenchmarkNoCStep/idle", "NEW",
+		"BenchmarkFig9", "NEW",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestTrimProcSuffix(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFoo-8":        "BenchmarkFoo",

@@ -100,6 +100,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 1, "base random seed")
 		configs   = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
 		objective = fs.String("objective", "", "optimization objective for the optimizing mappers: max (default), dev, global, ratio, or weighted:max=1,dev=2")
+		workers   = fs.Int("workers", 0, "worker goroutines for the parallel mappers and the NoC step engine: 0 serial (default), -1 all cores; simulator statistics are identical for any value")
 		csvPath   = fs.String("csv", "", "also write CSV output to this file")
 		svgDir    = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
@@ -150,7 +151,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *configs != "" {
 		opts.Configs = strings.Split(*configs, ",")
 	}
@@ -274,11 +275,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "CSV written to %s\n", *csvPath)
 	}
 	if *jsonPath != "" && len(jsonEntries) > 0 && writeErr == nil {
+		// The options block records everything a reader needs to reproduce
+		// the run byte-for-byte. Workers matters because Monte-Carlo's
+		// sample partition depends on it; seed alone does not pin the run.
+		type runOptions struct {
+			Seed      uint64   `json:"seed"`
+			Quick     bool     `json:"quick,omitempty"`
+			Workers   int      `json:"workers,omitempty"`
+			Configs   []string `json:"configs,omitempty"`
+			Objective string   `json:"objective,omitempty"`
+		}
 		doc, merr := json.MarshalIndent(struct {
 			Schema      string        `json:"schema"`
+			Options     runOptions    `json:"options"`
 			Experiments []jsonEntry   `json:"experiments"`
 			Metrics     *metricsBlock `json:"metrics,omitempty"`
-		}{Schema: "obmsim.run/v1", Experiments: jsonEntries, Metrics: mblock}, "", "  ")
+		}{
+			Schema:      "obmsim.run/v1",
+			Options:     runOptions{Seed: *seed, Quick: *quick, Workers: *workers, Configs: opts.Configs, Objective: *objective},
+			Experiments: jsonEntries,
+			Metrics:     mblock,
+		}, "", "  ")
 		if merr != nil {
 			fmt.Fprintln(stderr, "obmsim: encoding json:", merr)
 			return 1

@@ -36,6 +36,14 @@ type Options struct {
 	// Objective selects the cost the optimizing mappers minimize; nil
 	// keeps the paper's max-APL everywhere.
 	Objective core.Objective
+	// Workers is the execution-shape knob threaded through every layer
+	// that can shard work: the parallel mappers (Monte-Carlo chunking,
+	// annealing restart portfolios) and the NoC simulator's intra-step
+	// engine. 0 keeps every serial default, negative selects GOMAXPROCS.
+	// Simulator statistics are bit-identical for any setting; mapper
+	// fingerprints (and therefore artifact cache keys and golden
+	// outputs) never include it.
+	Workers int
 }
 
 // Validate fails fast on malformed options — in particular an unknown
@@ -66,7 +74,7 @@ func (o Options) Spec(def ...string) (scenario.Spec, error) {
 	if err != nil {
 		return scenario.Spec{}, err
 	}
-	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed, Objective: o.Objective}, nil
+	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed, Objective: o.Objective, Workers: o.Workers}, nil
 }
 
 // Result is what every experiment returns.

@@ -50,6 +50,7 @@ func (e extCongestion) Run(ctx context.Context, o Options) (Result, error) {
 	}
 	scfg := sim.DefaultRateDrivenConfig()
 	scfg.Seed = sp.Seed + 91
+	scfg.NocWorkers = o.Workers
 	if o.Quick {
 		scfg.MeasureCycles = 60_000
 	}

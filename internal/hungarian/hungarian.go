@@ -23,6 +23,26 @@ var ErrInvalidCost = errors.New("hungarian: invalid cost matrix")
 // every row to a distinct column minimizing the total cost. It returns
 // rowToCol (length n) and the minimal total cost.
 func Solve(cost [][]float64) (rowToCol []int, total float64, err error) {
+	var s Solver
+	// The Solver is local, so its reused buffer escapes as a fresh slice.
+	return s.Solve(cost)
+}
+
+// Solver solves a sequence of assignment problems while reusing its
+// internal arrays across calls, for hot paths that solve many instances
+// (e.g. sort-select-swap's repeated SAM solves). The zero value is ready
+// to use. Not safe for concurrent use; give each goroutine its own.
+type Solver struct {
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	rowToCol   []int
+}
+
+// Solve is identical to the package-level Solve — same algorithm, same
+// float operations in the same order, bit-identical results — except the
+// returned slice is owned by the Solver and overwritten by its next call.
+func (s *Solver) Solve(cost [][]float64) (rowToCol []int, total float64, err error) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0, fmt.Errorf("%w: empty matrix", ErrInvalidCost)
@@ -43,13 +63,34 @@ func Solve(cost [][]float64) (rowToCol []int, total float64, err error) {
 	}
 
 	// Shortest augmenting path with potentials; 1-based internal arrays
-	// with index 0 as the virtual root of each augmentation.
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1)   // p[j]: row matched to column j (0 = none)
-	way := make([]int, m+1) // way[j]: previous column on the alternating path
-	minv := make([]float64, m+1)
-	used := make([]bool, m+1)
+	// with index 0 as the virtual root of each augmentation. u, v and p
+	// must start zeroed (zero potentials, no column matched); minv and
+	// used are initialized per row below, and way is only read on columns
+	// the current row's search has already written.
+	if cap(s.v) < m+1 {
+		s.v = make([]float64, m+1)
+		s.minv = make([]float64, m+1)
+		s.p = make([]int, m+1)
+		s.way = make([]int, m+1)
+		s.used = make([]bool, m+1)
+	}
+	if cap(s.u) < n+1 {
+		s.u = make([]float64, n+1)
+		s.rowToCol = make([]int, n)
+	}
+	u := s.u[:n+1]
+	v := s.v[:m+1]
+	p := s.p[:m+1]     // p[j]: row matched to column j (0 = none)
+	way := s.way[:m+1] // way[j]: previous column on the alternating path
+	minv := s.minv[:m+1]
+	used := s.used[:m+1]
+	for i := range u {
+		u[i] = 0
+	}
+	for j := range v {
+		v[j] = 0
+		p[j] = 0
+	}
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
@@ -101,7 +142,7 @@ func Solve(cost [][]float64) (rowToCol []int, total float64, err error) {
 		}
 	}
 
-	rowToCol = make([]int, n)
+	rowToCol = s.rowToCol[:n]
 	for j := 1; j <= m; j++ {
 		if p[j] > 0 {
 			rowToCol[p[j]-1] = j - 1

@@ -392,7 +392,8 @@ func TestSelectFromSections(t *testing.T) {
 	for i := range list {
 		list[i] = mesh.Tile(i)
 	}
-	picked, rest, err := selectFromSections(list, 4, SelectMiddle, nil)
+	var sel selectScratch
+	picked, rest, err := sel.selectFromSections(list, 4, SelectMiddle, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +423,7 @@ func TestSelectFromSections(t *testing.T) {
 	if len(all) != 16 {
 		t.Fatal("tiles lost in selection")
 	}
-	if _, _, err := selectFromSections(list[:2], 4, SelectMiddle, nil); err == nil {
+	if _, _, err := sel.selectFromSections(list[:2], 4, SelectMiddle, nil); err == nil {
 		t.Error("over-selection accepted")
 	}
 }

@@ -16,12 +16,19 @@ import (
 // minimum max-APL — the paper's MC baseline for the OBM problem
 // (Section V.A, 10^4 samples).
 //
+// Samples are drawn and scored in batches through the SoA
+// core.BatchEvaluator, which streams the flattened thread x slot cost
+// table across the batch instead of gathering it per sample.
+//
 // With Workers > 1 the draw fans out over goroutines, each evaluating
-// an equal share of the samples with its own deterministically derived
+// an equal share of the samples with its own stats.SplitSeed-derived
 // random stream (share-nothing; the Problem is immutable and safe to
-// read concurrently). The result is identical for any worker count:
-// the partition of samples into streams is fixed by Workers, and ties
-// between chunks resolve to the lowest chunk index.
+// read concurrently). The result is deterministic for a fixed (Seed,
+// Workers): the sample partition is a pure function of the pair, and
+// ties between chunks resolve to the lowest chunk index. Different
+// worker counts draw different (equally random) sample sets, so record
+// the worker count alongside the seed when reproducibility matters —
+// the run envelope does.
 type MonteCarlo struct {
 	Samples int
 	Seed    uint64
@@ -38,9 +45,11 @@ func (mc MonteCarlo) Name() string {
 	return fmt.Sprintf("MC(%d)%s", mc.Samples, objName(mc.Objective))
 }
 
-// Fingerprint implements Mapper. Workers is excluded: the sample
-// partition is fixed by the sample count and seed, so the result is
-// documented to be identical for any worker count.
+// Fingerprint implements Mapper. Workers is excluded: it is an
+// execution-shape knob like the simulator's, not part of the sampled
+// distribution, so artifact cache keys never split by machine shape.
+// Runs that must be byte-reproducible fix (Seed, Workers) — both are
+// recorded in the run envelope.
 func (mc MonteCarlo) Fingerprint() string {
 	return fmt.Sprintf("mc(samples=%d,seed=%d%s)", mc.Samples, mc.Seed, objFingerprint(mc.Objective))
 }
@@ -93,7 +102,7 @@ func (mc MonteCarlo) Map(ctx context.Context, p *core.Problem) (core.Mapping, er
 			defer wg.Done()
 			// Derive a distinct stream per chunk; the derivation depends
 			// only on (Seed, w), keeping results reproducible.
-			best, obj, err := mcChunk(ctx, rep, &done, p, mc.Objective, count, mc.Samples, mc.Seed+uint64(w)*0x9e3779b97f4a7c15)
+			best, obj, err := mcChunk(ctx, rep, &done, p, mc.Objective, count, mc.Samples, stats.SplitSeed(mc.Seed, w))
 			results[w] = chunkResult{best, obj, err}
 		}(w, count)
 	}
@@ -116,32 +125,54 @@ func (mc MonteCarlo) Map(ctx context.Context, p *core.Problem) (core.Mapping, er
 // all chunks (for progress); done, when non-nil, is the shared
 // cross-chunk completion counter.
 //
-// The loop draws every sample into one scratch mapping and scores it
-// with a reusable Scorer, cloning only on improvement — allocations are
-// per improvement (logarithmically many in expectation), not per
-// sample. RandomMappingInto consumes the same draws as RandomMapping,
-// so the winner is bit-identical to the historical per-sample path.
+// Samples are drawn and scored in batches of mcPollMask+1 through the
+// SoA core.BatchEvaluator (one pass of the flattened cost table scores
+// the whole batch), polling cancellation between batches — the same
+// cadence the old per-sample loop polled at. RandomMappingInto consumes
+// the same draws as RandomMapping and the batch scan compares costs in
+// draw order with the same strict <, so the winner is bit-identical to
+// the historical per-sample path. Steady state allocates only on
+// improvement (logarithmically many times in expectation).
 func mcChunk(ctx context.Context, rep *engine.Reporter, done *atomic.Int64, p *core.Problem, obj core.Objective, count, total int, seed uint64) (core.Mapping, float64, error) {
 	rng := stats.NewRand(seed)
-	sc := p.Scorer(obj)
-	scratch := make(core.Mapping, p.N())
+	be := p.BatchEvaluator(obj)
+	n := p.N()
+	batch := mcPollMask + 1
+	if batch > count {
+		batch = count
+	}
+	flat := make(core.Mapping, batch*n)
+	ms := make([]core.Mapping, batch)
+	for k := range ms {
+		ms[k] = flat[k*n : (k+1)*n]
+	}
+	out := make([]float64, batch)
 	var best core.Mapping
 	bestObj := 0.0
-	for s := 0; s < count; s++ {
-		if s&mcPollMask == mcPollMask {
+	for s := 0; s < count; {
+		if s > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, fmt.Errorf("montecarlo: interrupted after %d samples: %w", s, err)
 			}
-			if done != nil {
-				rep.Report(int(done.Add(mcPollMask+1)), total)
-			} else {
-				rep.Report(s+1, total)
+		}
+		b := batch
+		if count-s < b {
+			b = count - s
+		}
+		for k := 0; k < b; k++ {
+			core.RandomMappingInto(ms[k], rng)
+		}
+		be.EvaluateBatch(ms[:b], out[:b])
+		for k := 0; k < b; k++ {
+			if best == nil || out[k] < bestObj {
+				best, bestObj = append(best[:0], ms[k]...), out[k]
 			}
 		}
-		core.RandomMappingInto(scratch, rng)
-		cost := sc.Score(scratch)
-		if best == nil || cost < bestObj {
-			best, bestObj = scratch.Clone(), cost
+		s += b
+		if done != nil {
+			rep.Report(int(done.Add(int64(b))), total)
+		} else {
+			rep.Report(s, total)
 		}
 	}
 	return best, bestObj, nil

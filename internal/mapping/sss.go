@@ -169,7 +169,11 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 	})
 
 	// Step 2: select tiles per application from the shrinking list and
-	// SAM-assign them.
+	// SAM-assign them. The SAM solver and the section-select scratch are
+	// shared across applications and passes (scratch reuse is what keeps
+	// a full solve down to a handful of allocations).
+	sam := p.NewSAMSolver()
+	var sel selectScratch
 	m := make(core.Mapping, n)
 	remaining := append([]mesh.Tile(nil), sorted...)
 	for i := 0; i < p.NumApps(); i++ {
@@ -178,11 +182,11 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 		if need == 0 {
 			continue
 		}
-		picked, rest, err := selectFromSections(remaining, need, s.Select, rng)
+		picked, rest, err := sel.selectFromSections(remaining, need, s.Select, rng)
 		if err != nil {
 			return nil, fmt.Errorf("sss: app %d: %w", i, err)
 		}
-		if _, err := p.SolveSAMInto(m, i, picked); err != nil {
+		if _, err := sam.SolveInto(m, i, picked); err != nil {
 			return nil, err
 		}
 		remaining = rest
@@ -197,18 +201,19 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 	}
 	prevObj := math.Inf(1)
 	sc := p.Scorer(s.Objective)
+	var sw swapScratch
 	for pass := 0; pass < passes; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sss: interrupted in pass %d/%d: %w", pass+1, passes, err)
 		}
 		if !s.DisableSwap {
-			if err := s.slideWindows(ctx, p, m, sorted, window); err != nil {
+			if err := s.slideWindows(ctx, p, m, sorted, window, &sw); err != nil {
 				return nil, err
 			}
 		}
 		if !s.DisableFinalSAM {
 			for i := 0; i < p.NumApps(); i++ {
-				if err := p.ReoptimizeApp(m, i); err != nil {
+				if err := sam.ReoptimizeApp(m, i); err != nil {
 					return nil, err
 				}
 			}
@@ -225,16 +230,28 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 	return m, nil
 }
 
+// selectScratch holds the reusable buffers of selectFromSections. The
+// zero value is ready; buffers grow to the largest application seen.
+type selectScratch struct {
+	picked  []mesh.Tile
+	pickIdx []int
+}
+
 // selectFromSections divides list into need equal sections, picks one
 // tile per section according to the strategy, and returns the picks plus
-// the unpicked remainder (order preserved).
-func selectFromSections(list []mesh.Tile, need int, strat SelectStrategy, rng *stats.Rand) (picked, rest []mesh.Tile, err error) {
+// the unpicked remainder (order preserved). The picks land in sc's
+// reused buffer (valid until the next call) and the remainder is
+// compacted into list in place — callers own list, a private copy of the
+// sorted tile order. Sections are disjoint and scanned in order, so the
+// picked indices are strictly ascending and the compaction is a
+// two-pointer merge, no lookup structure needed.
+func (sc *selectScratch) selectFromSections(list []mesh.Tile, need int, strat SelectStrategy, rng *stats.Rand) (picked, rest []mesh.Tile, err error) {
 	l := len(list)
 	if need > l {
 		return nil, nil, fmt.Errorf("need %d tiles from list of %d", need, l)
 	}
-	pickedIdx := make(map[int]bool, need)
-	picked = make([]mesh.Tile, 0, need)
+	picked = sc.picked[:0]
+	pickIdx := sc.pickIdx[:0]
 	for q := 0; q < need; q++ {
 		start := q * l / need
 		end := (q + 1) * l / need
@@ -247,25 +264,61 @@ func selectFromSections(list []mesh.Tile, need int, strat SelectStrategy, rng *s
 		default: // SelectMiddle
 			idx = (start + end - 1) / 2
 		}
-		pickedIdx[idx] = true
+		pickIdx = append(pickIdx, idx)
 		picked = append(picked, list[idx])
 	}
-	rest = make([]mesh.Tile, 0, l-need)
+	sc.picked, sc.pickIdx = picked, pickIdx
+	w, k := 0, 0
 	for i, t := range list {
-		if !pickedIdx[i] {
-			rest = append(rest, t)
+		if k < len(pickIdx) && i == pickIdx[k] {
+			k++
+			continue
 		}
+		list[w] = t
+		w++
 	}
-	return picked, rest, nil
+	return picked, list[:w], nil
+}
+
+// swapScratch holds the buffers slideWindows reuses across passes: the
+// tile-to-thread inverse (rebuilt each pass — the SAM polish between
+// passes moves threads) and the per-window work arrays. The zero value
+// is ready.
+type swapScratch struct {
+	inv          []int
+	tiles, trial []mesh.Tile
+	threads      []int
+}
+
+func (sw *swapScratch) ensure(n, window int) {
+	if cap(sw.inv) < n {
+		sw.inv = make([]int, n)
+	}
+	sw.inv = sw.inv[:n]
+	if cap(sw.tiles) < window {
+		sw.tiles = make([]mesh.Tile, window)
+		sw.trial = make([]mesh.Tile, window)
+		sw.threads = make([]int, window)
+	}
+	sw.tiles = sw.tiles[:window]
+	sw.trial = sw.trial[:window]
+	sw.threads = sw.threads[:window]
 }
 
 // slideWindows performs the greedy permutation search of step 3 in
 // place, polling cancellation between window steps (each step is a full
 // sweep of the sorted list, i.e. O(N * window!) objective probes).
-func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m core.Mapping, sorted []mesh.Tile, window int) error {
+func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m core.Mapping, sorted []mesh.Tile, window int, sw *swapScratch) error {
 	n := p.N()
 	tr := newObjectiveTracker(p, m, s.Objective)
-	inv := m.InverseOn(n) // tile -> thread
+	sw.ensure(n, window)
+	inv := sw.inv // tile -> thread
+	for i := range inv {
+		inv[i] = -1
+	}
+	for j, t := range m {
+		inv[t] = j
+	}
 	perms := permutations(window)
 
 	maxStep := s.MaxStep
@@ -273,9 +326,7 @@ func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m cor
 		maxStep = n / window
 	}
 	rep := engine.StartStage(ctx, s.Name()+"/swap")
-	tiles := make([]mesh.Tile, window)
-	threads := make([]int, window)
-	trial := make([]mesh.Tile, window)
+	tiles, threads, trial := sw.tiles, sw.threads, sw.trial
 	for step := 1; step <= maxStep; step++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("sss: interrupted at window step %d/%d: %w", step, maxStep, err)
@@ -323,9 +374,29 @@ func (s SortSelectSwap) slideWindows(ctx context.Context, p *core.Problem, m cor
 	return nil
 }
 
+// permTables memoizes the permutation lists for every legal window size
+// (2..5), built once at init; a full sort-select-swap solve then reads
+// them with zero allocations. Read-only after init, so safe to share
+// between concurrent mappers.
+var permTables [6][][]int
+
+func init() {
+	for k := 2; k < len(permTables); k++ {
+		permTables[k] = buildPermutations(k)
+	}
+}
+
 // permutations returns all k! permutations of [0,k) in a deterministic
-// order (Heap's algorithm).
+// order (Heap's algorithm), from the memoized table for window-sized k.
+// The result is shared — callers must not mutate it.
 func permutations(k int) [][]int {
+	if k >= 2 && k < len(permTables) {
+		return permTables[k]
+	}
+	return buildPermutations(k)
+}
+
+func buildPermutations(k int) [][]int {
 	cur := make([]int, k)
 	for i := range cur {
 		cur[i] = i

@@ -1,0 +1,115 @@
+package mapping
+
+import (
+	"context"
+	"testing"
+
+	"obm/internal/core"
+)
+
+// TestWorkersInvariance pins the contracts the scenario artifact cache
+// depends on. For every parallel mapper the Workers knob must be
+// invisible to the fingerprint — a fingerprint that varied with worker
+// count would split the cache by machine shape. On top of that each
+// mapper has its own determinism contract: the annealing portfolio's
+// outcome is identical for any worker count (chains share nothing and
+// selection is by index), while Monte-Carlo partitions the sample
+// budget into per-chunk streams, so its result is only pinned for a
+// fixed (Seed, Workers) pair — mapping twice with the same pair must
+// be bit-identical.
+func TestWorkersInvariance(t *testing.T) {
+	p := paperProblem(t, "C3")
+	cases := []struct {
+		name string
+		// resultInvariant: the mapping itself must not change with the
+		// worker count (true for share-nothing portfolios selected by
+		// index; false for MC, whose sample partition depends on Workers).
+		resultInvariant bool
+		variants        []Mapper
+	}{
+		{"montecarlo", false, []Mapper{
+			MonteCarlo{Samples: 700, Seed: 9},
+			MonteCarlo{Samples: 700, Seed: 9, Workers: 2},
+			MonteCarlo{Samples: 700, Seed: 9, Workers: 5},
+			MonteCarlo{Samples: 700, Seed: 9, Workers: -1},
+		}},
+		{"annealing-portfolio", true, []Mapper{
+			Annealing{Iters: 900, Seed: 17, Restarts: 4},
+			Annealing{Iters: 900, Seed: 17, Restarts: 4, Workers: 2},
+			Annealing{Iters: 900, Seed: 17, Restarts: 4, Workers: 4},
+			Annealing{Iters: 900, Seed: 17, Restarts: 4, Workers: -1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := tc.variants[0].Map(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := tc.variants[0].Fingerprint()
+			for _, v := range tc.variants[1:] {
+				if got := v.Fingerprint(); got != fp {
+					t.Errorf("fingerprint varies with workers: %q != %q", got, fp)
+				}
+				m, err := v.Map(context.Background(), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tc.resultInvariant {
+					// Fixed (seed, workers) must still reproduce exactly.
+					again, err := v.Map(context.Background(), p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					base, m = m, again
+				}
+				for j := range m {
+					if m[j] != base[j] {
+						t.Errorf("%s: mapping not deterministic at thread %d", v.Name(), j)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAnnealingPortfolio checks the restart portfolio's contract: a
+// single restart is bit-identical to the historical single chain, the
+// portfolio never does worse than its first chain, and names and
+// fingerprints only grow the restarts fragment for real portfolios.
+func TestAnnealingPortfolio(t *testing.T) {
+	p := paperProblem(t, "C2")
+	single, err := Annealing{Iters: 800, Seed: 5}.Map(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asOne, err := Annealing{Iters: 800, Seed: 5, Restarts: 1}.Map(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range single {
+		if single[j] != asOne[j] {
+			t.Fatal("Restarts=1 is not bit-identical to the single chain")
+		}
+	}
+	if a, b := (Annealing{Iters: 800, Seed: 5}).Fingerprint(), (Annealing{Iters: 800, Seed: 5, Restarts: 1}).Fingerprint(); a != b {
+		t.Errorf("Restarts=1 fingerprint %q differs from single-chain %q", b, a)
+	}
+
+	port, err := Annealing{Iters: 800, Seed: 5, Restarts: 4, Workers: 2}.Map(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := core.DefaultObjective
+	if pv, sv := p.ObjectiveValue(port, obj), p.ObjectiveValue(single, obj); pv > sv {
+		t.Errorf("portfolio best %v worse than its own first chain %v", pv, sv)
+	}
+	if got, want := (Annealing{Iters: 800, Restarts: 4}).Name(), "SA(800x4)"; got != want {
+		t.Errorf("portfolio name = %q, want %q", got, want)
+	}
+	fp := (Annealing{Iters: 800, Seed: 5, Restarts: 4}).Fingerprint()
+	if fp == (Annealing{Iters: 800, Seed: 5}).Fingerprint() {
+		t.Error("portfolio fingerprint must differ from single-chain fingerprint")
+	}
+}

@@ -57,6 +57,7 @@ func fingerprintStats(st Stats) uint64 {
 func goldenRun(t *testing.T, cfg Config, seed uint64, rate float64, cycles int) uint64 {
 	t.Helper()
 	n := MustNew(cfg)
+	defer n.Close()
 	m := n.Mesh()
 	rng := stats.NewRand(seed)
 	types := []PacketType{CacheRequest, CacheReply, CacheForward, MemRequest, MemReply, Writeback}
@@ -144,14 +145,23 @@ func TestGoldenDeterminism(t *testing.T) {
 			want:   5253779206098163401,
 		},
 	}
+	// Every pinned fingerprint must come out of both step engines at
+	// every worker count: Workers is a throughput knob, never a model
+	// parameter. 0 and 1 take the serial path; 2 and 8 shard (8 exceeds
+	// the 4-row meshes' row count and exercises the Rows cap).
+	workers := []int{0, 1, 2, 8}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := goldenRun(t, tc.cfg(), tc.seed, tc.rate, tc.cycles)
-			if got != tc.want {
-				t.Errorf("stats fingerprint = %d, want %d (simulated behaviour changed)", got, tc.want)
+			for _, w := range workers {
+				cfg := tc.cfg()
+				cfg.Workers = w
+				got := goldenRun(t, cfg, tc.seed, tc.rate, tc.cycles)
+				if got != tc.want {
+					t.Errorf("workers=%d: stats fingerprint = %d, want %d (simulated behaviour changed)", w, got, tc.want)
+				}
 			}
-			if again := goldenRun(t, tc.cfg(), tc.seed, tc.rate, tc.cycles); again != got {
-				t.Errorf("rerun fingerprint = %d, first run %d (nondeterministic)", again, got)
+			if again := goldenRun(t, tc.cfg(), tc.seed, tc.rate, tc.cycles); again != tc.want {
+				t.Errorf("rerun fingerprint = %d, want %d (nondeterministic)", again, tc.want)
 			}
 		})
 	}

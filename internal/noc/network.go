@@ -57,15 +57,23 @@ type Network struct {
 	credMask int64
 	nCred    int
 
-	// activeR lists router ids with buffered flits, ascending; activeNI
-	// lists tiles whose NI has injection backlog, ascending. Step sweeps
+	// actR tracks routers with buffered flits and actNI tracks tiles
+	// whose NI has injection backlog, as per-row bitmaps. Step sweeps
 	// these instead of every tile, which is what makes paper-scale loads
 	// (~0.25 packets/cycle chip-wide) cheap: almost all of a large mesh
-	// is idle almost all of the time. Ascending order preserves the
-	// exact router-iteration order of the full scan, keeping fixed-seed
-	// runs bit-identical (see TestGoldenDeterminism).
-	activeR  []int32
-	activeNI []int32
+	// is idle almost all of the time. Bitmap iteration is ascending by
+	// construction, preserving the exact router-iteration order of the
+	// old sorted worklists, keeping fixed-seed runs bit-identical (see
+	// TestGoldenDeterminism). actScratch is the per-cycle compacted
+	// active-router id list the serial step's phases share.
+	actR       *rowWorklist
+	actNI      *rowWorklist
+	actScratch []int32
+
+	// par is the sharded step engine, non-nil when cfg.Workers resolves
+	// to two or more workers (see parallel.go). The serial path never
+	// touches it.
+	par *parEngine
 
 	// pool recycles delivered packets handed out by AllocPacket, so a
 	// long simulation reaches a high-water mark of live packets and then
@@ -114,8 +122,16 @@ func New(cfg Config) (*Network, error) {
 	}
 	n.routers = make([]*router, m.NumTiles())
 	n.nis = make([]*ni, m.NumTiles())
-	n.activeR = make([]int32, 0, m.NumTiles())
-	n.activeNI = make([]int32, 0, m.NumTiles())
+	n.actR = newRowWorklist(cfg.Rows, cfg.Cols)
+	n.actNI = newRowWorklist(cfg.Rows, cfg.Cols)
+	n.actScratch = make([]int32, 0, m.NumTiles())
+	// Link-utilization counters are allocated eagerly (and again on
+	// ResetStats) rather than lazily on first send: the parallel engine
+	// writes rows from different workers, and a lazy allocation in
+	// sendFlit would be a data race. Zero-traffic runs gain an allocated
+	// but all-zero matrix; fingerprints hash rows identically either way
+	// because fingerprinting only reads values.
+	n.stats.LinkFlits = newLinkFlits(m.NumTiles())
 	for _, t := range m.Tiles() {
 		n.routers[t] = newRouter(t, n)
 		n.nis[t] = newNI(t, n)
@@ -148,7 +164,29 @@ func New(cfg Config) (*Network, error) {
 			r.neighbors[East] = n.routers[m.TileAt(c.Row, col)]
 		}
 	}
+	if w := cfg.workerCount(); w > 1 {
+		n.par = newParEngine(n, w)
+	}
 	return n, nil
+}
+
+// newLinkFlits allocates a zeroed tiles x ports flit-count matrix.
+func newLinkFlits(tiles int) [][]int64 {
+	lf := make([][]int64, tiles)
+	for i := range lf {
+		lf[i] = make([]int64, int(numPorts))
+	}
+	return lf
+}
+
+// Close releases the worker pool of a parallel network. It is a no-op
+// for serial networks and safe to call multiple times; after Close the
+// network must not be stepped again. Serial networks (Workers <= 1)
+// need no Close at all.
+func (n *Network) Close() {
+	if n.par != nil {
+		n.par.close()
+	}
 }
 
 // MustNew is New but panics on error.
@@ -200,6 +238,9 @@ func (n *Network) Stats() Stats {
 // first few cycles — standard practice for warm measurement windows.
 func (n *Network) ResetStats() {
 	n.stats = Stats{}
+	// Re-allocate the eagerly-managed link counters (see New): the
+	// parallel send path writes them without a nil check.
+	n.stats.LinkFlits = newLinkFlits(n.mesh.NumTiles())
 	// Flit counts restart from zero with the fresh window; dropping the
 	// flushed marks too keeps the registry totals equal to the sum of
 	// final Stats snapshots (the warmup window is discarded from both).
@@ -259,42 +300,53 @@ func (n *Network) Inject(p *Packet) error {
 	return nil
 }
 
-// markRouterActive adds router id to the sorted worklist.
-func (n *Network) markRouterActive(id int32) {
-	n.activeR = insertSorted(n.activeR, id)
+// markRouterActive adds router r to the active bitmap.
+func (n *Network) markRouterActive(r *router) {
+	n.actR.add(r.row, r.col)
 }
 
-// markNIActive adds tile id's NI to the sorted worklist.
-func (n *Network) markNIActive(id int32) {
-	n.activeNI = insertSorted(n.activeNI, id)
-}
-
-// insertSorted inserts v into ascending slice s (no duplicates are ever
-// offered: callers guard with a queued flag). Worklists are short and
-// nearly sorted already, so a backward scan beats binary search.
-func insertSorted(s []int32, v int32) []int32 {
-	s = append(s, v)
-	for i := len(s) - 1; i > 0 && s[i-1] > v; i-- {
-		s[i-1], s[i] = s[i], s[i-1]
-	}
-	return s
+// markNIActive adds tile q's NI to the active bitmap.
+func (n *Network) markNIActive(q *ni) {
+	n.actNI.add(q.row, q.col)
 }
 
 // returnCredit makes a freed slot visible at router up (port, vc),
-// immediately or after the configured credit delay.
-func (n *Network) returnCredit(up *router, p Port, vc int) {
+// immediately or after the configured credit delay. from is the router
+// whose dequeue freed the slot — the parallel engine stages delayed
+// credits into from's row buffer (single writer per row), and relies on
+// the wavefront order to make the immediate (CreditDelay == 0) write
+// race-free: up is always a neighbour of from whose arbitration is
+// ordered against from's by the north-west wavefront.
+func (n *Network) returnCredit(from, up *router, p Port, vc int) {
 	if n.cfg.CreditDelay == 0 {
 		up.credits[p][vc]++
 		return
 	}
 	at := n.cycle + int64(n.cfg.CreditDelay)
 	slot := at & n.credMask
+	if n.par != nil && n.par.arbitrating {
+		rs := &n.par.rows[from.row]
+		rs.credRing[slot] = append(rs.credRing[slot], creditReturn{up, p, vc})
+		rs.credQ++
+		return
+	}
 	n.credRing[slot] = append(n.credRing[slot], creditReturn{up, p, vc})
 	n.nCred++
 }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle, dispatching to the sharded
+// engine when one is configured. Both paths produce bit-identical
+// statistics (see TestGoldenDeterminism, which sweeps worker counts).
 func (n *Network) Step() {
+	if n.par != nil {
+		n.par.step()
+		return
+	}
+	n.stepSerial()
+}
+
+// stepSerial is the single-threaded cycle loop.
+func (n *Network) stepSerial() {
 	now := n.cycle
 	// 0. Delayed credits become visible. The ring slot was drained the
 	// last time this cycle index came around, so it holds exactly this
@@ -318,47 +370,61 @@ func (n *Network) Step() {
 	}
 	// 2. NIs with backlog inject, in ascending tile order; drained NIs
 	// drop off the worklist.
-	if len(n.activeNI) > 0 {
-		keep := n.activeNI[:0]
-		for _, t := range n.activeNI {
-			q := n.nis[t]
-			q.inject(now)
-			if q.pending() > 0 {
-				keep = append(keep, t)
-			} else {
-				q.queued = false
+	if n.actNI.total() > 0 {
+		for row := 0; row < n.cfg.Rows; row++ {
+			if n.actNI.rowCount(row) == 0 {
+				continue
+			}
+			n.actScratch = n.actNI.appendRow(n.actScratch[:0], row)
+			for _, t := range n.actScratch {
+				q := n.nis[t]
+				q.inject(now)
+				if q.pending() == 0 {
+					q.queued = false
+					n.actNI.clear(q.row, q.col)
+				}
 			}
 		}
-		n.activeNI = keep
 	}
-	if len(n.activeR) == 0 {
+	if n.actR.total() == 0 {
 		n.cycle++
 		return
 	}
 	// Compact the router worklist once per cycle: routers whose buffers
-	// drained last cycle leave; the survivors are exactly the busy set,
-	// already ascending.
-	act := n.activeR[:0]
-	for _, id := range n.activeR {
-		r := n.routers[id]
-		if r.occ == 0 {
-			r.queued = false
+	// drained last cycle leave; the survivors — exactly the busy set, in
+	// ascending id order — are shared by the three phases below via the
+	// scratch list.
+	act := n.actScratch[:0]
+	for row := 0; row < n.cfg.Rows; row++ {
+		if n.actR.rowCount(row) == 0 {
 			continue
 		}
-		act = append(act, id)
+		mark := len(act)
+		act = n.actR.appendRow(act, row)
+		keep := act[:mark]
+		for _, id := range act[mark:] {
+			r := n.routers[id]
+			if r.occ == 0 {
+				r.queued = false
+				n.actR.clear(r.row, r.col)
+				continue
+			}
+			keep = append(keep, id)
+		}
+		act = keep
 	}
-	n.activeR = act
+	n.actScratch = act
 	// 3. Route computation for newly exposed heads, then VC allocation.
 	// Each busy router first snapshots its occupied VCs once; the three
 	// stages then scan only that candidate list.
-	for _, id := range n.activeR {
+	for _, id := range act {
 		n.routers[id].gather(now)
 	}
-	for _, id := range n.activeR {
+	for _, id := range act {
 		n.routers[id].allocateVCs(now)
 	}
 	// 4. Switch allocation and traversal.
-	for _, id := range n.activeR {
+	for _, id := range act {
 		r := n.routers[id]
 		var inputUsed [numPorts]bool
 		for p := Port(0); p < numPorts; p++ {
@@ -382,12 +448,9 @@ func (n *Network) sendFlit(now int64, r *router, p Port, outVC int, f flit) {
 	// eligible for the downstream switch RouterLatency-1 cycles later.
 	arr := now + int64(n.cfg.LinkLatency) + 1
 	f.ready = arr + int64(n.cfg.RouterLatency-1)
-	if n.stats.LinkFlits == nil {
-		n.stats.LinkFlits = make([][]int64, n.mesh.NumTiles())
-		for i := range n.stats.LinkFlits {
-			n.stats.LinkFlits[i] = make([]int64, int(numPorts))
-		}
-	}
+	// LinkFlits rows are indexed by the sending router, and the parallel
+	// engine partitions senders by row, so this write is single-writer in
+	// both engines (the matrix is allocated eagerly in New/ResetStats).
 	n.stats.LinkFlits[r.id][p]++
 	if f.isHead() {
 		f.pkt.Hops++
@@ -400,18 +463,38 @@ func (n *Network) sendFlit(now int64, r *router, p Port, outVC int, f flit) {
 			f.pkt.layer = layer
 		}
 	}
-	n.stats.FlitHops++
 	slot := arr & n.arrMask
-	n.arrRing[slot] = append(n.arrRing[slot], arrival{
-		router: dest,
-		port:   p.opposite(),
-		vc:     outVC,
-		f:      f,
-	})
+	a := arrival{router: dest, port: p.opposite(), vc: outVC, f: f}
+	if n.par != nil && n.par.arbitrating {
+		// Stage into the sending router's row buffer: one writer per
+		// row, merged by scanning rows in ascending order on the drain
+		// side, which reproduces the serial append order exactly
+		// (serial arbitration appends in ascending sender id order).
+		rs := &n.par.rows[r.row]
+		rs.arrRing[slot] = append(rs.arrRing[slot], a)
+		rs.flitHops++
+		rs.sent++
+		return
+	}
+	n.stats.FlitHops++
+	n.arrRing[slot] = append(n.arrRing[slot], a)
 	n.inFlight++
 	if n.inFlight > n.maxInFlight {
 		n.maxInFlight = n.inFlight
 	}
+}
+
+// ejectArb is the arbitration-time ejection path: serial engines eject
+// immediately; the parallel engine stages the event into r's row buffer
+// so the delivery handler (user code with its own RNG, packet pool and
+// re-injection side effects) replays serially in exact serial order.
+func (n *Network) ejectArb(r *router, now int64, p *Packet, seq int) {
+	if n.par != nil && n.par.arbitrating {
+		rs := &n.par.rows[r.row]
+		rs.ej = append(rs.ej, ejection{pkt: p, seq: seq})
+		return
+	}
+	n.eject(now, p, seq)
 }
 
 // eject consumes a flit at its destination's local port.
@@ -464,17 +547,10 @@ func (n *Network) Busy() bool {
 	if n.inFlight > 0 || n.nCred > 0 {
 		return true
 	}
-	for _, t := range n.activeNI {
-		if n.nis[t].pending() > 0 {
-			return true
-		}
+	if n.actNI.anyID(func(id int32) bool { return n.nis[id].pending() > 0 }) {
+		return true
 	}
-	for _, id := range n.activeR {
-		if n.routers[id].occ > 0 {
-			return true
-		}
-	}
-	return false
+	return n.actR.anyID(func(id int32) bool { return n.routers[id].occ > 0 })
 }
 
 // Drain steps the network until it is empty or maxCycles additional

@@ -14,10 +14,12 @@ import (
 // backing array is recycled whenever the queue fully drains, so
 // steady-state injection does not allocate or copy.
 type ni struct {
-	tile  mesh.Tile
-	n     *Network
-	queue []*Packet
-	qhead int
+	tile mesh.Tile
+	n    *Network
+	// row, col cache the mesh coordinates for the worklist bitmaps.
+	row, col int
+	queue    []*Packet
+	qhead    int
 	// queued reports whether this NI is on the network's active
 	// worklist (set on enqueue, cleared when the backlog drains).
 	queued bool
@@ -37,7 +39,11 @@ func newNI(tile mesh.Tile, n *Network) *ni {
 	for v := range s {
 		s[v] = n.cfg.BufDepth
 	}
-	return &ni{tile: tile, n: n, space: s, owned: make([]bool, vcs), curVC: -1}
+	return &ni{
+		tile: tile, n: n,
+		row: int(tile) / n.cfg.Cols, col: int(tile) % n.cfg.Cols,
+		space: s, owned: make([]bool, vcs), curVC: -1,
+	}
 }
 
 // enqueue adds a packet to the injection queue, putting the NI on the
@@ -46,7 +52,7 @@ func (q *ni) enqueue(p *Packet) {
 	q.queue = append(q.queue, p)
 	if !q.queued {
 		q.queued = true
-		q.n.markNIActive(int32(q.tile))
+		q.n.markNIActive(q)
 	}
 }
 

@@ -1,0 +1,401 @@
+package noc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the sharded step engine selected by
+// Config.Workers >= 2. The design goal is stronger than "parallel and
+// statistically equivalent": every run is bit-identical to the serial
+// engine — same Stats, same delivery-handler invocation order, same
+// packet-pool reuse, same golden fingerprints (TestGoldenDeterminism
+// sweeps worker counts over the same pinned hashes).
+//
+// # Decomposition
+//
+// The sharding unit is a mesh row. Worker w owns rows w, w+W, w+2W, …
+// (round-robin), and a cycle runs as three phases:
+//
+//	P1 (parallel)  drain staged credits and link arrivals addressed to
+//	               own rows, inject from own-row NIs, compact own-row
+//	               worklists, gather + allocate VCs for own routers.
+//	-- barrier --
+//	P2 (parallel)  switch allocation and traversal for own rows, in a
+//	               north-west wavefront (below); sends, delayed credits
+//	               and ejections are staged into per-row buffers.
+//	-- barrier --
+//	P3 (serial)    the caller replays staged ejections in ascending
+//	               router order, merges staged counters, and recycles
+//	               the drained ring slots.
+//
+// P1 is race-free by ownership: every mutation targets a router, NI, or
+// worklist row owned by the executing worker (staged arrival/credit
+// entries are applied by the *target's* owner, which scans all source
+// rows' rings in ascending row order — exactly the serial drain order).
+//
+// # The north-west wavefront (P2)
+//
+// With CreditDelay == 0 (the default), a credit freed by a router's
+// dequeue is visible *immediately*, so serial arbitration order leaks
+// into results: router (i,j) observes credits freed this cycle by
+// routers with smaller ids and not by larger ones. The only cross-
+// router writes during arbitration are exactly these credit returns,
+// and they only flow between *neighbours*. So it suffices to order
+// every neighbouring pair like the serial engine does: row-major
+// ascending. Each worker walks its rows top-to-bottom and each row
+// left-to-right, and router (i,j) additionally waits until its north
+// neighbour's row has arbitrated past column j (published through a
+// per-row atomic progress counter). That orders (i-1,j) before (i,j)
+// and, symmetrically, (i,j) before (i+1,j); (i,j-1) precedes (i,j) on
+// the same worker. Every neighbour pair is therefore ordered exactly as
+// in the serial engine, the progress atomics carry the happens-before
+// edges, and the wavefront is a linear extension of serial order — so
+// the immediate credit writes are both race-free and value-identical.
+// Inactive routers neither produce nor consume credits, so progress
+// skips past them without waiting (an idle row publishes completion
+// immediately and costs nothing). Rows form a DAG (row i only ever
+// waits on row i-1), so the wavefront cannot deadlock, torus wrap
+// included — wrap neighbours are ordered by the transitive row chain.
+//
+// # Why P3 is serial
+//
+// Ejection runs the user's delivery handler, which may draw from its
+// own RNG, allocate from the packet pool, and re-inject replies; all of
+// that is ordering-sensitive observable state. Serial arbitration
+// performs at most one local ejection per router per cycle, in
+// ascending router order, so replaying the per-row ejection lists in
+// row order reproduces the handler call sequence exactly. Deferring
+// ejections past the barrier is safe because nothing in arbitration
+// reads delivery state.
+type parEngine struct {
+	n *Network
+	w int // effective worker count, >= 2, <= rows
+
+	rows []rowState
+	prog []progSlot
+
+	// arrDrained/credDrained count ring entries each worker applied in
+	// P1 (padded to avoid false sharing); P3 subtracts them from the
+	// network's inFlight/nCred totals.
+	arrDrained  []padCount
+	credDrained []padCount
+
+	// niScratch is per-worker scratch for materializing NI worklist rows.
+	niScratch [][]int32
+
+	b1, b2 spinBarrier
+
+	// start wakes the auxiliary workers (ids 1..w-1) once per cycle; the
+	// caller is worker 0. Buffered to w-1 so dispatch never blocks.
+	start chan struct{}
+
+	// arbitrating is true exactly while P2 runs; sendFlit, returnCredit
+	// and ejectArb branch on it to stage instead of mutating shared
+	// state. Synchronized by the start channel (set before dispatch) and
+	// barrier b2 (cleared after).
+	arbitrating bool
+
+	spawned bool
+	closed  bool
+}
+
+// ejection is a staged arbitration-time ejection, replayed in P3.
+type ejection struct {
+	pkt *Packet
+	seq int
+}
+
+// rowState is the staging area for one mesh row. Exactly one worker
+// writes it during a cycle (the row's owner), and the coordinator
+// drains the counters in P3.
+type rowState struct {
+	// act is the row's compacted active-router list for this cycle.
+	act []int32
+	// arrRing stages link arrivals sent by this row's routers, same
+	// slot indexing as Network.arrRing. Entries are applied in P1 of
+	// the arrival cycle by the destination row's owner.
+	arrRing [][]arrival
+	// credRing stages delayed credit returns freed by this row's
+	// routers (nil when CreditDelay == 0).
+	credRing [][]creditReturn
+	// ej stages local ejections for the serial P3 replay.
+	ej []ejection
+	// flitHops / sent / credQ accumulate this row's contributions to
+	// stats.FlitHops, inFlight and nCred, merged in P3.
+	flitHops int64
+	sent     int
+	credQ    int
+	_        [40]byte // pad to a cache-line multiple
+}
+
+// progSlot is a padded per-row arbitration progress counter: the number
+// of columns of the row that have completed switch allocation.
+type progSlot struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// padCount is a cache-line-padded counter.
+type padCount struct {
+	v int
+	_ [56]byte
+}
+
+// spinBarrier is a reusable counter barrier. Waiters spin briefly and
+// then yield, which keeps barrier latency low on idle cores without
+// burning an oversubscribed machine.
+type spinBarrier struct {
+	arrived atomic.Int32
+	gen     atomic.Uint32
+	total   int32
+}
+
+const barrierSpins = 128
+
+func (b *spinBarrier) wait() {
+	g := b.gen.Load()
+	if b.arrived.Add(1) == b.total {
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for i := 0; b.gen.Load() == g; i++ {
+		if i > barrierSpins {
+			runtime.Gosched()
+		}
+	}
+}
+
+func newParEngine(n *Network, w int) *parEngine {
+	rows := n.cfg.Rows
+	e := &parEngine{
+		n:           n,
+		w:           w,
+		rows:        make([]rowState, rows),
+		prog:        make([]progSlot, rows),
+		arrDrained:  make([]padCount, w),
+		credDrained: make([]padCount, w),
+		niScratch:   make([][]int32, w),
+		start:       make(chan struct{}, w-1),
+	}
+	for i := range e.rows {
+		e.rows[i].arrRing = make([][]arrival, n.arrMask+1)
+		if n.cfg.CreditDelay > 0 {
+			e.rows[i].credRing = make([][]creditReturn, n.credMask+1)
+		}
+	}
+	e.b1.total = int32(w)
+	e.b2.total = int32(w)
+	return e
+}
+
+// close shuts the worker pool down. Idempotent.
+func (e *parEngine) close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.spawned {
+		close(e.start)
+	}
+}
+
+// step advances one cycle through the three-phase schedule. The calling
+// goroutine acts as worker 0, so a W-worker network runs W-1 extra
+// goroutines.
+func (e *parEngine) step() {
+	n := e.n
+	// Idle fast path: nothing buffered, nothing in flight, nothing
+	// staged (staged work is reflected in inFlight/nCred at the end of
+	// every cycle). No worker wakeup, no allocation.
+	if n.inFlight == 0 && n.nCred == 0 && n.actNI.total() == 0 && n.actR.total() == 0 {
+		n.cycle++
+		return
+	}
+	if !e.spawned {
+		e.spawned = true
+		for id := 1; id < e.w; id++ {
+			go func(id int) {
+				for range e.start {
+					e.runWorker(id)
+				}
+			}(id)
+		}
+	}
+	e.arbitrating = true
+	for i := 1; i < e.w; i++ {
+		e.start <- struct{}{}
+	}
+	e.runWorker(0)
+	e.arbitrating = false
+	e.runP3()
+	n.cycle++
+}
+
+// runWorker executes P1 and P2 for worker id's rows.
+func (e *parEngine) runWorker(id int) {
+	n := e.n
+	now := n.cycle
+	rows := n.cfg.Rows
+
+	// --- P1: drain, inject, compact, gather, allocate. ---
+	e.arrDrained[id].v = 0
+	e.credDrained[id].v = 0
+	for i := id; i < rows; i += e.w {
+		e.prog[i].v.Store(0)
+	}
+	if n.nCred > 0 {
+		slot := now & n.credMask
+		for src := 0; src < rows; src++ {
+			for _, c := range e.rows[src].credRing[slot] {
+				if c.router.row%e.w == id {
+					c.router.credits[c.port][c.vc]++
+					e.credDrained[id].v++
+				}
+			}
+		}
+	}
+	if n.inFlight > 0 {
+		slot := now & n.arrMask
+		for src := 0; src < rows; src++ {
+			for _, a := range e.rows[src].arrRing[slot] {
+				if a.router.row%e.w == id {
+					a.router.accept(a.port, a.vc, a.f)
+					e.arrDrained[id].v++
+				}
+			}
+		}
+	}
+	for i := id; i < rows; i += e.w {
+		if n.actNI.rowCount(i) == 0 {
+			continue
+		}
+		sc := n.actNI.appendRow(e.niScratch[id][:0], i)
+		e.niScratch[id] = sc
+		for _, t := range sc {
+			q := n.nis[t]
+			q.inject(now)
+			if q.pending() == 0 {
+				q.queued = false
+				n.actNI.clear(q.row, q.col)
+			}
+		}
+	}
+	for i := id; i < rows; i += e.w {
+		rs := &e.rows[i]
+		rs.act = rs.act[:0]
+		if n.actR.rowCount(i) == 0 {
+			continue
+		}
+		rs.act = n.actR.appendRow(rs.act, i)
+		keep := rs.act[:0]
+		for _, rid := range rs.act {
+			r := n.routers[rid]
+			if r.occ == 0 {
+				r.queued = false
+				n.actR.clear(r.row, r.col)
+				continue
+			}
+			keep = append(keep, rid)
+		}
+		rs.act = keep
+	}
+	for i := id; i < rows; i += e.w {
+		for _, rid := range e.rows[i].act {
+			n.routers[rid].gather(now)
+		}
+	}
+	for i := id; i < rows; i += e.w {
+		for _, rid := range e.rows[i].act {
+			n.routers[rid].allocateVCs(now)
+		}
+	}
+
+	e.b1.wait()
+
+	// --- P2: wavefront arbitration, top row first. ---
+	for i := id; i < rows; i += e.w {
+		e.arbRow(i, now)
+	}
+
+	e.b2.wait()
+}
+
+// arbRow arbitrates one row's active routers left-to-right, publishing
+// column progress and honouring the north-neighbour wavefront wait.
+func (e *parEngine) arbRow(i int, now int64) {
+	n := e.n
+	rs := &e.rows[i]
+	cols := int32(n.cfg.Cols)
+	my := &e.prog[i].v
+	var north *atomic.Int32
+	if i > 0 {
+		north = &e.prog[i-1].v
+	}
+	done := int32(0)
+	for _, rid := range rs.act {
+		r := n.routers[rid]
+		j := int32(r.col)
+		if j > done {
+			// Columns done..j-1 are inactive: publish them so the row
+			// below never waits on routers that do nothing.
+			my.Store(j)
+		}
+		if north != nil {
+			for spins := 0; north.Load() <= j; spins++ {
+				if spins > barrierSpins {
+					runtime.Gosched()
+				}
+			}
+		}
+		var inputUsed [numPorts]bool
+		for p := Port(0); p < numPorts; p++ {
+			if r.outReq[p] != 0 {
+				r.arbitrate(now, p, &inputUsed)
+			}
+		}
+		done = j + 1
+		my.Store(done)
+	}
+	if done < cols {
+		my.Store(cols)
+	}
+}
+
+// runP3 is the serial epilogue: replay staged ejections in ascending
+// router order (exactly the serial handler sequence), merge staged
+// counters, and recycle the ring slots drained in P1.
+func (e *parEngine) runP3() {
+	n := e.n
+	now := n.cycle
+	slotA := now & n.arrMask
+	slotC := now & n.credMask
+	for i := range e.rows {
+		rs := &e.rows[i]
+		for k := range rs.ej {
+			n.eject(now, rs.ej[k].pkt, rs.ej[k].seq)
+			rs.ej[k].pkt = nil
+		}
+		rs.ej = rs.ej[:0]
+		n.stats.FlitHops += rs.flitHops
+		n.inFlight += rs.sent
+		n.nCred += rs.credQ
+		rs.flitHops, rs.sent, rs.credQ = 0, 0, 0
+		rs.arrRing[slotA] = rs.arrRing[slotA][:0]
+		if rs.credRing != nil {
+			rs.credRing[slotC] = rs.credRing[slotC][:0]
+		}
+	}
+	for w := 0; w < e.w; w++ {
+		n.inFlight -= e.arrDrained[w].v
+		n.nCred -= e.credDrained[w].v
+	}
+	// Serial arbitration updates the in-flight high-water mark per send,
+	// but within a cycle the count only rises after the drain, so the
+	// running maximum equals the maximum over end-of-cycle values —
+	// updating once here is exact.
+	if n.inFlight > n.maxInFlight {
+		n.maxInFlight = n.inFlight
+	}
+}

@@ -1,0 +1,132 @@
+package noc
+
+import (
+	"testing"
+
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+// handlerRun drives a network whose delivery handler re-injects replies
+// from its own random stream — the ordering-sensitive path the sharded
+// engine must replay serially (handler RNG draws, packet-pool reuse and
+// packet ids all depend on the exact delivery order).
+func handlerRun(t *testing.T, cfg Config, seed uint64, rate float64, cycles int) uint64 {
+	t.Helper()
+	n := MustNew(cfg)
+	defer n.Close()
+	m := n.Mesh()
+	hrng := stats.NewRand(seed ^ 0xabcdef)
+	n.SetDeliveryHandler(func(p *Packet) {
+		// Half of the requests get a pooled reply to a random tile.
+		if p.Type == CacheRequest && hrng.Float64() < 0.5 {
+			r := n.AllocPacket()
+			r.Src, r.Dst = p.Dst, mesh.Tile(hrng.Intn(m.NumTiles()))
+			r.Type, r.App = CacheReply, p.App
+			if err := n.Inject(r); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	rng := stats.NewRand(seed)
+	for cyc := 0; cyc < cycles; cyc++ {
+		for _, src := range m.Tiles() {
+			if rng.Float64() < rate {
+				p := n.AllocPacket()
+				p.Src = src
+				p.Dst = mesh.Tile(rng.Intn(m.NumTiles()))
+				p.Type, p.App = CacheRequest, rng.Intn(2)
+				if err := n.Inject(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		n.Step()
+	}
+	if err := n.Drain(200_000); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprintStats(n.Stats())
+}
+
+// TestParallelHandlerDeterminism pins the sharded engine against the
+// serial one on a workload where the delivery handler itself injects
+// traffic: the staged-ejection replay must reproduce the serial handler
+// call order exactly, or the reply stream (and thus every statistic)
+// diverges.
+func TestParallelHandlerDeterminism(t *testing.T) {
+	cfgs := map[string]func() Config{
+		"mesh6x6": func() Config {
+			c := DefaultConfig()
+			c.Rows, c.Cols = 6, 6
+			return c
+		},
+		"mesh6x6-creditdelay": func() Config {
+			c := DefaultConfig()
+			c.Rows, c.Cols = 6, 6
+			c.CreditDelay = 2
+			return c
+		},
+	}
+	for name, mk := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			base := handlerRun(t, mk(), 4242, 0.06, 2000)
+			for _, w := range []int{2, 3, -1} {
+				cfg := mk()
+				cfg.Workers = w
+				if got := handlerRun(t, cfg, 4242, 0.06, 2000); got != base {
+					t.Errorf("workers=%d: fingerprint %d != serial %d", w, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountResolution checks the Workers knob's resolution rules.
+func TestWorkerCountResolution(t *testing.T) {
+	cfg := DefaultConfig() // 8 rows
+	for _, tc := range []struct{ workers, rows, want int }{
+		{0, 8, 1},
+		{1, 8, 1},
+		{4, 8, 4},
+		{100, 8, 8}, // capped at rows
+		{3, 2, 2},   // capped at rows
+	} {
+		c := cfg
+		c.Workers, c.Rows = tc.workers, tc.rows
+		if got := c.workerCount(); got != tc.want {
+			t.Errorf("workerCount(Workers=%d, Rows=%d) = %d, want %d", tc.workers, tc.rows, got, tc.want)
+		}
+	}
+	c := cfg
+	c.Workers = -1
+	if got := c.workerCount(); got < 1 {
+		t.Errorf("negative Workers resolved to %d", got)
+	}
+}
+
+// TestCloseIdempotent ensures Close is safe on serial networks, safe
+// before any step, and safe to repeat.
+func TestCloseIdempotent(t *testing.T) {
+	serial := MustNew(DefaultConfig())
+	serial.Close()
+	serial.Close()
+
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	par := MustNew(cfg)
+	par.Close() // never stepped: pool not spawned yet
+	par.Close()
+
+	par2 := MustNew(cfg)
+	par2.Step()
+	if err := par2.Inject(&Packet{Src: 0, Dst: 63, Type: CacheRequest, App: 0}); err != nil {
+		t.Fatal(err)
+	}
+	par2.Step()
+	if err := par2.Drain(10_000); err != nil {
+		t.Fatal(err)
+	}
+	par2.Close()
+	par2.Close()
+}

@@ -64,7 +64,10 @@ func (v *vcBuffer) pop() flit {
 type router struct {
 	id mesh.Tile
 	n  *Network
-	in [numPorts][]vcBuffer
+	// row, col cache the mesh coordinates: the worklist bitmaps and the
+	// parallel engine's row ownership are keyed by them.
+	row, col int
+	in       [numPorts][]vcBuffer
 	// occ counts buffered flits across all input VCs; idle routers
 	// (occ == 0) skip the per-cycle allocation scans entirely, which is
 	// what makes paper-scale loads (~0.25 packets/cycle chip-wide)
@@ -162,7 +165,7 @@ func (r *router) allowedVCs(p Port, pkt *Packet) (lo, hi int) {
 }
 
 func newRouter(id mesh.Tile, n *Network) *router {
-	r := &router{id: id, n: n}
+	r := &router{id: id, n: n, row: int(id) / n.cfg.Cols, col: int(id) % n.cfg.Cols}
 	vcs := n.cfg.VCs()
 	r.vcs = vcs
 	r.total = int(numPorts) * vcs
@@ -191,7 +194,7 @@ func (r *router) accept(p Port, vc int, f flit) {
 	r.occMask[p] |= 1 << uint(vc)
 	if !r.queued {
 		r.queued = true
-		r.n.markRouterActive(int32(r.id))
+		r.n.markRouterActive(r)
 	}
 }
 
@@ -308,7 +311,7 @@ func (r *router) arbitrate(now int64, p Port, inputUsed *[numPorts]bool) {
 			granted := r.dequeue(inPort, inVC)
 			inputUsed[inPort] = true
 			r.saPtr[p] = (idx + 1) % r.total
-			r.n.eject(now, granted.pkt, granted.seq)
+			r.n.ejectArb(r, now, granted.pkt, granted.seq)
 			return true
 		}
 		if b.outVC < 0 || r.credits[p][b.outVC] == 0 {
@@ -340,7 +343,7 @@ func (r *router) dequeue(p Port, vc int) flit {
 	}
 	if p != Local {
 		if up := r.neighbors[p]; up != nil {
-			r.n.returnCredit(up, p.opposite(), vc)
+			r.n.returnCredit(r, up, p.opposite(), vc)
 		}
 	} else {
 		r.n.nis[r.id].creditReturn(vc)

@@ -1,0 +1,86 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"obm/internal/stats"
+)
+
+// insertSortedIDs is the O(n) sorted-insert the active worklists used
+// before the bitmap rowWorklist replaced it, kept here as the benchmark
+// baseline. Duplicates are skipped, matching the old mark-if-absent
+// semantics.
+func insertSortedIDs(list []int32, id int32) []int32 {
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= id })
+	if i < len(list) && list[i] == id {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// BenchmarkWorklist compares the bitmap rowWorklist against the sorted
+// slice it replaced, across fan-in levels: each op marks fanin distinct
+// ids of an 8x8 mesh in shuffled order (worst case for sorted insert,
+// which pays O(n) memmove per out-of-order arrival) and then drains
+// them in ascending id order, exactly the per-cycle pattern of the step
+// loop. The bitmap's add is O(1) and its drain a TrailingZeros64 scan,
+// so it must not regress at high fan-in — the regime the sorted insert
+// degraded in — while staying comparable at low fan-in.
+func BenchmarkWorklist(b *testing.B) {
+	const rows, cols = 8, 8
+	rng := stats.NewRand(99)
+	for _, fanin := range []int{4, 16, 64} {
+		ids := make([]int32, rows*cols)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		ids = ids[:fanin]
+
+		b.Run(fmt.Sprintf("bitmap/fanin=%d", fanin), func(b *testing.B) {
+			wl := newRowWorklist(rows, cols)
+			scratch := make([]int32, 0, cols)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					wl.add(int(id)/cols, int(id)%cols)
+				}
+				var sink int32
+				for r := 0; r < rows; r++ {
+					scratch = wl.appendRow(scratch[:0], r)
+					for _, id := range scratch {
+						sink += id
+						wl.clear(int(id)/cols, int(id)%cols)
+					}
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sorted/fanin=%d", fanin), func(b *testing.B) {
+			list := make([]int32, 0, rows*cols)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				list = list[:0]
+				for _, id := range ids {
+					list = insertSortedIDs(list, id)
+				}
+				var sink int32
+				for _, id := range list {
+					sink += id
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+	}
+}

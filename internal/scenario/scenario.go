@@ -72,6 +72,14 @@ type Spec struct {
 	// every mapper fingerprint (and therefore every cache key), so
 	// artifacts optimized under different objectives never conflate.
 	Objective core.Objective
+	// Workers is the execution-shape knob threaded into the parallel
+	// mappers (Monte-Carlo chunking, annealing restart portfolios): 0 or
+	// 1 is serial, negative selects GOMAXPROCS. It is deliberately
+	// excluded from every mapper fingerprint — and therefore from every
+	// cache key — so artifacts never split by machine shape
+	// (TestSpecWorkersInvariantKeys enforces this). Runs that must be
+	// byte-reproducible record (Seed, Workers) together.
+	Workers int
 }
 
 // StandardMappers returns the paper's four comparison algorithms
@@ -80,8 +88,8 @@ type Spec struct {
 func (s Spec) StandardMappers() []mapping.Mapper {
 	return []mapping.Mapper{
 		mapping.Global{}, // objective-fixed: minimizes g-APL by construction
-		mapping.MonteCarlo{Samples: s.Budget.MCSamples, Seed: s.Seed + 1, Objective: s.Objective},
-		mapping.Annealing{Iters: s.Budget.SAIters, Seed: s.Seed + 2, Objective: s.Objective},
+		mapping.MonteCarlo{Samples: s.Budget.MCSamples, Seed: s.Seed + 1, Workers: s.Workers, Objective: s.Objective},
+		mapping.Annealing{Iters: s.Budget.SAIters, Seed: s.Seed + 2, Workers: s.Workers, Objective: s.Objective},
 		mapping.SortSelectSwap{Objective: s.Objective},
 	}
 }

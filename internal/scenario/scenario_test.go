@@ -234,6 +234,36 @@ func TestStandardMappers(t *testing.T) {
 	}
 }
 
+// TestSpecWorkersInvariantKeys enforces the execution-shape contract:
+// Spec.Workers flows into the parallel mappers but must never reach a
+// fingerprint — and therefore never a cache key — so artifacts computed
+// on different machine shapes share slots, and a warm cache serves the
+// same artifact whatever -workers the run was started with.
+func TestSpecWorkersInvariantKeys(t *testing.T) {
+	base := Spec{Configs: []string{"C1"}, Budget: DefaultBudget(true), Seed: 1}
+	ms := base.StandardMappers()
+	for _, w := range []int{1, 2, 8, -1} {
+		sp := base
+		sp.Workers = w
+		for i, m := range sp.StandardMappers() {
+			if got, want := m.Fingerprint(), ms[i].Fingerprint(); got != want {
+				t.Errorf("Workers=%d changes mapper %d cache key: %q != %q", w, i, got, want)
+			}
+		}
+	}
+	// The knob does reach the mappers (sanity: it isn't dropped).
+	sp := base
+	sp.Workers = 3
+	mc := sp.StandardMappers()[1].(mapping.MonteCarlo)
+	if mc.Workers != 3 {
+		t.Errorf("Spec.Workers not threaded into MonteCarlo: %+v", mc)
+	}
+	sa := sp.StandardMappers()[2].(mapping.Annealing)
+	if sa.Workers != 3 {
+		t.Errorf("Spec.Workers not threaded into Annealing: %+v", sa)
+	}
+}
+
 func TestCacheDistinguishesObjectives(t *testing.T) {
 	c := NewCache()
 	ctx := context.Background()

@@ -11,6 +11,7 @@ import (
 	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/obs"
+	"obm/internal/stats"
 )
 
 // Replica-runner metrics: completed/failed job counts and per-job busy
@@ -124,18 +125,11 @@ func RunReplicas[T any](ctx context.Context, n, workers int, job func(ctx contex
 // ReplicaSeed derives the seed for replica rep from a base seed.
 // Replica 0 uses the base seed unchanged, so a single-replica run
 // reproduces the corresponding serial run exactly; later replicas get
-// well-mixed distinct streams (splitmix64 of the shifted base).
+// well-mixed distinct streams. It is stats.SplitSeed under its
+// historical name — the derivation is shared with every other
+// deterministic fan-out (Monte-Carlo chunks, annealing restarts).
 func ReplicaSeed(base uint64, rep int) uint64 {
-	if rep == 0 {
-		return base
-	}
-	z := base + uint64(rep)*0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return z
+	return stats.SplitSeed(base, rep)
 }
 
 // RateDrivenReplicas runs replicas independent RateDriven simulations

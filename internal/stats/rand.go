@@ -118,3 +118,24 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64())
 }
+
+// SplitSeed derives the seed of sub-stream i from a base seed. Stream 0
+// is the base seed unchanged, so a single-stream run reproduces the
+// corresponding serial run exactly; later streams are splitmix64-mixed
+// into well-separated states. This is the canonical derivation for
+// deterministic worker fan-out — simulation replicas (sim.ReplicaSeed),
+// Monte-Carlo sample chunks and annealing restart portfolios all derive
+// their per-worker streams this way, so a fixed (seed, partition) is
+// reproducible regardless of scheduling.
+func SplitSeed(base uint64, i int) uint64 {
+	if i == 0 {
+		return base
+	}
+	z := base + uint64(i)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
