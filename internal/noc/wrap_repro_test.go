@@ -1,0 +1,53 @@
+package noc
+
+import (
+	"testing"
+
+	"obm/internal/mesh"
+	"obm/internal/stats"
+)
+
+// Repro: torus, traffic confined to the wrap-neighbour rows 0 and 3.
+func wrapRun(t *testing.T, workers int) uint64 {
+	t.Helper()
+	c := DefaultConfig()
+	c.Rows, c.Cols = 4, 4
+	c.Torus = true
+	c.VCsPerClass = 2
+	c.Workers = workers
+	n := MustNew(c)
+	defer n.Close()
+	rng := stats.NewRand(7)
+	for cyc := 0; cyc < 5000; cyc++ {
+		for col := 0; col < 4; col++ {
+			if rng.Float64() < 0.4 {
+				p := n.AllocPacket()
+				p.Src = mesh.Tile(col)          // row 0
+				p.Dst = mesh.Tile(3*4 + col)    // row 3, same column (wrap hop)
+				p.Type, p.App = CacheRequest, 0
+				_ = n.Inject(p)
+			}
+			if rng.Float64() < 0.4 {
+				p := n.AllocPacket()
+				p.Src = mesh.Tile(3*4 + col)
+				p.Dst = mesh.Tile(col)
+				p.Type, p.App = CacheReply, 0
+				_ = n.Inject(p)
+			}
+		}
+		n.Step()
+	}
+	if err := n.Drain(100000); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprintStats(n.Stats())
+}
+
+func TestWrapRowsOnly(t *testing.T) {
+	serial := wrapRun(t, 0)
+	for i := 0; i < 20; i++ {
+		if got := wrapRun(t, 4); got != serial {
+			t.Fatalf("iter %d: parallel fingerprint %d != serial %d", i, got, serial)
+		}
+	}
+}
