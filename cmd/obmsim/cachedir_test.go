@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obm/internal/scenario"
+)
+
+// runEnvelope is the envelope subset the cache tests read back.
+type runEnvelope struct {
+	Schema  string `json:"schema"`
+	Options struct {
+		CacheDir  string `json:"cachedir"`
+		CacheSize int64  `json:"cachesize"`
+	} `json:"options"`
+	Cache struct {
+		Dir       string `json:"dir"`
+		SizeBytes int64  `json:"size_bytes"`
+		Schema    int    `json:"artifact_schema"`
+		MemHits   uint64 `json:"mem_hits"`
+		DiskHits  uint64 `json:"disk_hits"`
+		Computed  uint64 `json:"computed"`
+	} `json:"cache"`
+	Experiments json.RawMessage `json:"experiments"`
+}
+
+// TestCacheDirColdWarm is the two-tier acceptance check at the CLI
+// layer: a first run with -cachedir computes its artifacts and leaves
+// them on disk; a second run over the same directory (fresh memory
+// tier — ConfigureShared installs one per run) computes nothing, serves
+// everything from disk, and produces byte-identical experiment output.
+func TestCacheDirColdWarm(t *testing.T) {
+	cache := t.TempDir()
+	out := t.TempDir()
+	t.Cleanup(func() { scenario.ResetShared() })
+	do := func(jsonPath string) runEnvelope {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		code := run(context.Background(),
+			[]string{"-exp", "table1,fig9", "-quick", "-configs", "C1,C2", "-cachedir", cache, "-json", jsonPath},
+			&stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr.String())
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env runEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("envelope: %v", err)
+		}
+		return env
+	}
+
+	cold := do(filepath.Join(out, "cold.json"))
+	if cold.Cache.Dir != cache || cold.Cache.SizeBytes != 256<<20 || cold.Options.CacheDir != cache {
+		t.Errorf("disk tier not recorded in envelope: %+v", cold.Cache)
+	}
+	if cold.Cache.Schema != 1 {
+		t.Errorf("artifact schema = %d, want 1", cold.Cache.Schema)
+	}
+	if cold.Cache.Computed == 0 || cold.Cache.DiskHits != 0 {
+		t.Fatalf("cold run cache block = %+v, want computes and no disk hits", cold.Cache)
+	}
+	files, err := filepath.Glob(filepath.Join(cache, "*.obma"))
+	if err != nil || uint64(len(files)) != cold.Cache.Computed {
+		t.Errorf("%d artifact files on disk for %d computes (%v)", len(files), cold.Cache.Computed, err)
+	}
+
+	warm := do(filepath.Join(out, "warm.json"))
+	if warm.Cache.Computed != 0 {
+		t.Errorf("warm run computed %d artifacts, want 0", warm.Cache.Computed)
+	}
+	if warm.Cache.DiskHits != cold.Cache.Computed {
+		t.Errorf("warm run disk hits = %d, want %d (one per cold compute)", warm.Cache.DiskHits, cold.Cache.Computed)
+	}
+	if !bytes.Equal(cold.Experiments, warm.Experiments) {
+		t.Error("warm results differ from cold: disk tier is not byte-transparent")
+	}
+}
+
+// TestCacheDirUnusableFailsFast: an unusable -cachedir is a usage
+// error before any work, never a silent fall-back to memory-only.
+func TestCacheDirUnusableFailsFast(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-exp", "fig5", "-quick", "-cachedir", filepath.Join(blocker, "cache")}, &stdout, &stderr)
+	if code != 2 {
+		t.Errorf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "obmsim:") {
+		t.Errorf("error not reported: %q", stderr.String())
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"obm/internal/artifact"
 	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/experiments"
@@ -72,8 +73,13 @@ func (s *progressSink) Event(p engine.Progress) {
 	defer s.mu.Unlock()
 	if p.Skipped {
 		// Cache hits are rare, cheap, and the run's main observability
-		// signal, so they bypass the spacing throttle.
-		fmt.Fprintf(s.w, "progress: %s skipped (cache hit)\n", p.Stage)
+		// signal, so they bypass the spacing throttle. The stage prefix
+		// names the serving tier ("cached:" memory, "disk:" persistent).
+		tier := "cache hit"
+		if strings.HasPrefix(p.Stage, "disk:") {
+			tier = "disk hit"
+		}
+		fmt.Fprintf(s.w, "progress: %s skipped (%s)\n", p.Stage, tier)
 		return
 	}
 	now := time.Now()
@@ -101,6 +107,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		configs   = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
 		objective = fs.String("objective", "", "optimization objective for the optimizing mappers: max (default), dev, global, ratio, or weighted:max=1,dev=2")
 		workers   = fs.Int("workers", 0, "worker goroutines for the parallel mappers and the NoC step engine: 0 serial (default), -1 all cores; simulator statistics are identical for any value")
+		cacheDir  = fs.String("cachedir", "", "directory for the persistent mapper-artifact cache shared across runs (empty: in-memory only); artifacts are content-addressed, so any run may share a directory")
+		cacheSize = fs.Int64("cachesize", 256<<20, "byte budget for -cachedir (least-recently-used artifacts are evicted; <= 0: unbounded)")
 		csvPath   = fs.String("csv", "", "also write CSV output to this file")
 		svgDir    = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
@@ -151,7 +159,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers, CacheDir: *cacheDir, CacheSize: *cacheSize}
+	if *cacheDir != "" {
+		if _, err := scenario.ConfigureShared(*cacheDir, *cacheSize); err != nil {
+			fmt.Fprintln(stderr, "obmsim:", err)
+			return 2
+		}
+	}
 	if *configs != "" {
 		opts.Configs = strings.Split(*configs, ",")
 	}
@@ -248,9 +262,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	results, err := eng.Run(ctx, jobs)
+	cacheStats := scenario.Shared().StoreStats()
 	if *progress {
-		hits, misses := scenario.Shared().Stats()
-		fmt.Fprintf(stderr, "obmsim: mapper artifact cache: %d computed, %d served from cache\n", misses, hits)
+		fmt.Fprintf(stderr, "obmsim: mapper artifact store: %d computed, %d memory hits, %d disk hits\n",
+			cacheStats.Computed, cacheStats.MemHits, cacheStats.DiskHits)
 	}
 	// One post-run snapshot feeds both the printed table and the JSON
 	// block, so the two can never disagree; the cache summary line is
@@ -262,13 +277,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if printed > 0 {
 			fmt.Fprintln(stdout)
 		}
-		hits, _ := snap.Counter("scenario.cache.hits")
-		misses, _ := snap.Counter("scenario.cache.misses")
-		fmt.Fprintf(stdout, "mapper artifact cache: %d computed, %d served from cache\n", misses, hits)
+		computed, _ := snap.Counter("artifact.store.computed")
+		memHits, _ := snap.Counter("artifact.mem.hits")
+		diskHits, _ := snap.Counter("artifact.disk.hits")
+		fmt.Fprintf(stdout, "mapper artifact store: %d computed, %d memory hits, %d disk hits\n",
+			computed, memHits, diskHits)
 		printMetrics(stdout, snap)
 	}
 	if *csvPath != "" && csv.Len() > 0 {
-		if werr := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); werr != nil {
+		if werr := artifact.WriteFileAtomic(*csvPath, []byte(csv.String()), 0o644); werr != nil {
 			fmt.Fprintln(stderr, "obmsim: writing csv:", werr)
 			return 1
 		}
@@ -278,21 +295,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// The options block records everything a reader needs to reproduce
 		// the run byte-for-byte. Workers matters because Monte-Carlo's
 		// sample partition depends on it; seed alone does not pin the run.
+		// The cache block records the artifact store's disk tier and
+		// per-tier traffic — results are bit-identical with or without
+		// it, so it documents provenance, not inputs.
 		type runOptions struct {
 			Seed      uint64   `json:"seed"`
 			Quick     bool     `json:"quick,omitempty"`
 			Workers   int      `json:"workers,omitempty"`
 			Configs   []string `json:"configs,omitempty"`
 			Objective string   `json:"objective,omitempty"`
+			CacheDir  string   `json:"cachedir,omitempty"`
+			CacheSize int64    `json:"cachesize,omitempty"`
+		}
+		type cacheBlock struct {
+			Dir       string `json:"dir,omitempty"`
+			SizeBytes int64  `json:"size_bytes,omitempty"`
+			Schema    int    `json:"artifact_schema"`
+			artifact.Stats
+		}
+		cblock := cacheBlock{Schema: artifact.SchemaVersion, Stats: cacheStats}
+		if *cacheDir != "" {
+			cblock.Dir, cblock.SizeBytes = *cacheDir, *cacheSize
 		}
 		doc, merr := json.MarshalIndent(struct {
 			Schema      string        `json:"schema"`
 			Options     runOptions    `json:"options"`
+			Cache       cacheBlock    `json:"cache"`
 			Experiments []jsonEntry   `json:"experiments"`
 			Metrics     *metricsBlock `json:"metrics,omitempty"`
 		}{
-			Schema:      "obmsim.run/v1",
-			Options:     runOptions{Seed: *seed, Quick: *quick, Workers: *workers, Configs: opts.Configs, Objective: *objective},
+			Schema: "obmsim.run/v1",
+			Options: runOptions{Seed: *seed, Quick: *quick, Workers: *workers, Configs: opts.Configs, Objective: *objective,
+				CacheDir: *cacheDir, CacheSize: opts.CacheSize},
+			Cache:       cblock,
 			Experiments: jsonEntries,
 			Metrics:     mblock,
 		}, "", "  ")
@@ -300,7 +335,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "obmsim: encoding json:", merr)
 			return 1
 		}
-		if werr := os.WriteFile(*jsonPath, append(doc, '\n'), 0o644); werr != nil {
+		if werr := artifact.WriteFileAtomic(*jsonPath, append(doc, '\n'), 0o644); werr != nil {
 			fmt.Fprintln(stderr, "obmsim: writing json:", werr)
 			return 1
 		}
@@ -328,13 +363,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // writeJSONArtifact writes one experiment's JSON document to
-// dir/<id>.json.
+// dir/<id>.json. The write is atomic (temp file + rename, the artifact
+// store's helper), so a SIGINT mid-write never leaves a truncated
+// document behind — consumers see either the previous file or the
+// complete new one.
 func writeJSONArtifact(stdout io.Writer, dir, id string, raw []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(dir, id+".json")
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+	if err := artifact.WriteFileAtomic(path, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", path)

@@ -239,7 +239,7 @@ func TestProgressFlag(t *testing.T) {
 	if !strings.Contains(stderr.String(), "progress:") {
 		t.Errorf("no progress events on stderr: %q", stderr.String())
 	}
-	if !strings.Contains(stderr.String(), "mapper artifact cache:") {
-		t.Errorf("no cache stats summary on stderr: %q", stderr.String())
+	if !strings.Contains(stderr.String(), "mapper artifact store:") {
+		t.Errorf("no store stats summary on stderr: %q", stderr.String())
 	}
 }

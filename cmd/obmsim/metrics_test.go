@@ -28,12 +28,12 @@ func TestMetricsFlagPrintsAndEmbeds(t *testing.T) {
 	if !strings.Contains(stdout.String(), "metrics (obsim.metrics/v1):") {
 		t.Fatalf("metrics table missing from stdout: %q", stdout.String())
 	}
-	var printedComputed, printedServed uint64
+	var printedComputed, printedMem, printedDisk uint64
 	found := false
 	for _, line := range strings.Split(stdout.String(), "\n") {
-		if strings.Contains(line, "mapper artifact cache:") {
+		if strings.Contains(line, "mapper artifact store:") {
 			if _, err := fmt.Sscanf(strings.TrimSpace(line),
-				"mapper artifact cache: %d computed, %d served from cache", &printedComputed, &printedServed); err != nil {
+				"mapper artifact store: %d computed, %d memory hits, %d disk hits", &printedComputed, &printedMem, &printedDisk); err != nil {
 				t.Fatalf("unparsable summary line %q: %v", line, err)
 			}
 			found = true
@@ -67,13 +67,16 @@ func TestMetricsFlagPrintsAndEmbeds(t *testing.T) {
 	if doc.Metrics.Schema != "obsim.metrics/v1" {
 		t.Errorf("metrics schema = %q, want obsim.metrics/v1", doc.Metrics.Schema)
 	}
-	misses, ok := doc.Metrics.Counter("scenario.cache.misses")
-	if !ok || misses != printedComputed {
-		t.Errorf("JSON cache misses = %d,%v; printed summary says %d computed", misses, ok, printedComputed)
+	computed, ok := doc.Metrics.Counter("artifact.store.computed")
+	if !ok || computed != printedComputed {
+		t.Errorf("JSON computed = %d,%v; printed summary says %d computed", computed, ok, printedComputed)
 	}
-	hits, ok := doc.Metrics.Counter("scenario.cache.hits")
-	if !ok || hits != printedServed {
-		t.Errorf("JSON cache hits = %d,%v; printed summary says %d served", hits, ok, printedServed)
+	hits, ok := doc.Metrics.Counter("artifact.mem.hits")
+	if !ok || hits != printedMem {
+		t.Errorf("JSON memory hits = %d,%v; printed summary says %d", hits, ok, printedMem)
+	}
+	if diskHits, ok := doc.Metrics.Counter("artifact.disk.hits"); !ok || diskHits != printedDisk {
+		t.Errorf("JSON disk hits = %d,%v; printed summary says %d", diskHits, ok, printedDisk)
 	}
 	if _, ok := doc.Metrics.Counter("noc.flits.injected"); !ok {
 		t.Error("NoC counters missing from metrics block")

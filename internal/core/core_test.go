@@ -102,6 +102,22 @@ func TestMappingClone(t *testing.T) {
 	}
 }
 
+func TestEvaluationClone(t *testing.T) {
+	e := Evaluation{APLs: []float64{1.5, 2.5}, MaxAPL: 2.5, DevAPL: 0.5, GlobalAPL: 2, MinMaxRatio: 0.6}
+	c := e.Clone()
+	c.APLs[0] = -1
+	if e.APLs[0] != 1.5 {
+		t.Error("Clone shares APL storage")
+	}
+	if c.MaxAPL != e.MaxAPL || c.DevAPL != e.DevAPL || c.GlobalAPL != e.GlobalAPL || c.MinMaxRatio != e.MinMaxRatio {
+		t.Error("Clone dropped scalar fields")
+	}
+	var zero Evaluation
+	if got := zero.Clone(); got.APLs != nil {
+		t.Error("Clone of zero evaluation should keep APLs nil")
+	}
+}
+
 func TestRandomMappingValid(t *testing.T) {
 	rng := stats.NewRand(5)
 	for i := 0; i < 50; i++ {

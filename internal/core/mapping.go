@@ -95,6 +95,15 @@ type Evaluation struct {
 	MinMaxRatio float64
 }
 
+// Clone returns a deep copy of the evaluation (APLs is its only
+// reference field). Cache layers hand clones to callers so a stored
+// evaluation can never be corrupted through a returned slice.
+func (e Evaluation) Clone() Evaluation {
+	out := e
+	out.APLs = append([]float64(nil), e.APLs...)
+	return out
+}
+
 // Evaluate computes all latency metrics for mapping m (which must be a
 // valid permutation for p; behaviour on invalid mappings is undefined —
 // mappers in this repository always produce validated permutations, and

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"obm/internal/scenario"
+)
+
+// TestTimingRunnersBypass enforces the store policy for the runners
+// whose tables report mapper wall time: every mapper invocation goes
+// through the explicit bypass (counted, never cached), and none
+// touches a store tier — a cached lookup would make the runtime
+// columns measure the cache instead of the mapper.
+func TestTimingRunnersBypass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real mappers; skip under -short")
+	}
+	for _, id := range []string{"ablation", "scaling"} {
+		t.Run(id, func(t *testing.T) {
+			scenario.ResetShared()
+			t.Cleanup(func() { scenario.ResetShared() })
+			r, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Run(context.Background(), quickOpts()); err != nil {
+				t.Fatal(err)
+			}
+			st := scenario.Shared().StoreStats()
+			if st.Bypass == 0 {
+				t.Fatalf("%s made no bypass requests; timing loop not routed through mapEvalUncached?", id)
+			}
+			if st.Computed != 0 || st.MemHits != 0 || st.DiskHits != 0 {
+				t.Errorf("%s touched the store: %+v, want bypass-only traffic", id, st)
+			}
+			if n := scenario.Shared().Len(); n != 0 {
+				t.Errorf("%s populated the memory tier with %d artifacts", id, n)
+			}
+		})
+	}
+}
+
+// TestCachedRunnersNeverBypass is the inverse policy: a paper-table
+// runner must never route around the store (its mapper work would stop
+// deduplicating across experiments).
+func TestCachedRunnersNeverBypass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real mappers; skip under -short")
+	}
+	scenario.ResetShared()
+	t.Cleanup(func() { scenario.ResetShared() })
+	r, err := Get("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st := scenario.Shared().StoreStats()
+	if st.Bypass != 0 {
+		t.Errorf("table1 bypassed the store %d times", st.Bypass)
+	}
+	if st.Computed == 0 {
+		t.Error("table1 computed nothing through the store")
+	}
+}
+
+// TestOptionsSpecThreadsCacheKnobs: the cache knobs ride Options into
+// scenario.Spec verbatim, so run manifests record them.
+func TestOptionsSpecThreadsCacheKnobs(t *testing.T) {
+	o := Options{Quick: true, CacheDir: "/tmp/artifacts", CacheSize: 123}
+	sp, err := o.Spec("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.CacheDir != o.CacheDir || sp.CacheSizeBytes != o.CacheSize {
+		t.Errorf("Spec dropped cache knobs: %+v", sp)
+	}
+}

@@ -44,6 +44,16 @@ type Options struct {
 	// fingerprints (and therefore artifact cache keys and golden
 	// outputs) never include it.
 	Workers int
+	// CacheDir roots the persistent disk tier of the shared artifact
+	// store ("" keeps it memory-only). The option is recorded and
+	// threaded into scenario.Spec for run manifests; attaching the tier
+	// to the process-wide store is the host's job (cmd/obmsim does it
+	// from -cachedir before running). Execution-shape only: it never
+	// reaches a fingerprint, an artifact key, or a result.
+	CacheDir string
+	// CacheSize bounds the disk tier in bytes (LRU-evicted); <= 0
+	// means unbounded. Execution-shape only, like CacheDir.
+	CacheSize int64
 }
 
 // Validate fails fast on malformed options — in particular an unknown
@@ -74,7 +84,8 @@ func (o Options) Spec(def ...string) (scenario.Spec, error) {
 	if err != nil {
 		return scenario.Spec{}, err
 	}
-	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed, Objective: o.Objective, Workers: o.Workers}, nil
+	return scenario.Spec{Configs: cfgs, Budget: scenario.DefaultBudget(o.Quick), Seed: o.Seed, Objective: o.Objective, Workers: o.Workers,
+		CacheDir: o.CacheDir, CacheSizeBytes: o.CacheSize}, nil
 }
 
 // Result is what every experiment returns.
@@ -167,14 +178,24 @@ func configsOrDefault(o Options, def []string) ([]string, error) {
 	return def, nil
 }
 
-// mapEval runs mapper m on p through the process-wide scenario cache:
-// each distinct (problem, mapper) artifact is computed once per run and
-// shared by every experiment that asks for it; hits surface as skipped
-// stages on the progress sink. Runners that measure mapper wall time
-// (ext_ablation, ext_scaling) bypass this and call mapping.MapAndCheck
-// directly, so timing is always of real work.
+// mapEval runs mapper m on p through the process-wide artifact store:
+// each distinct work unit is computed once per run (once per machine
+// with a disk tier attached) and shared by every experiment that asks
+// for it; hits surface as skipped stages on the progress sink.
 func mapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
 	return scenario.Shared().MapEval(ctx, p, m)
+}
+
+// mapEvalUncached is the explicit no-cache path for runners that
+// measure mapper wall time (ext_ablation, ext_scaling): the mapper
+// always runs for real, nothing is read from or written to either
+// store tier, and the bypass is counted so TestTimingRunnersBypass can
+// enforce the policy — a future runner can neither silently reuse the
+// cache (its timings would measure lookups) nor silently skip the
+// store (its traffic would be invisible). Never call
+// mapping.MapAndCheck directly from a runner.
+func mapEvalUncached(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
+	return scenario.Shared().MapEvalUncached(ctx, p, m)
 }
 
 // parallelConfigs runs fn once per configuration concurrently — each

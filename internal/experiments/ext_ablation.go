@@ -64,13 +64,13 @@ func (a extAblation) Run(ctx context.Context, o Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			// Deliberately bypasses the scenario cache: the runtime column
-			// must time real mapper work, not cache lookups.
-			mp, err := mapping.MapAndCheck(ctx, m, p)
+			// Explicit store bypass: the runtime column must time real
+			// mapper work, not cache lookups (test-enforced by
+			// TestTimingRunnersBypass).
+			_, ev, err := mapEvalUncached(ctx, p, m)
 			if err != nil {
 				return nil, err
 			}
-			ev := p.Evaluate(mp)
 			row.MaxAPL += ev.MaxAPL
 			row.DevAPL += ev.DevAPL
 			row.GAPL += ev.GlobalAPL

@@ -70,21 +70,20 @@ func (s extScaling) Run(ctx context.Context, o Options) (Result, error) {
 			return nil, err
 		}
 		row := ScalingRow{N: n}
-		// Both calls deliberately bypass the scenario cache: the SSS
-		// runtime column must time real mapper work.
-		gm, err := mapping.MapAndCheck(ctx, mapping.Global{}, p)
+		// Both calls use the explicit store bypass: the SSS runtime
+		// column must time real mapper work (test-enforced by
+		// TestTimingRunnersBypass).
+		_, evG, err := mapEvalUncached(ctx, p, mapping.Global{})
 		if err != nil {
 			return nil, err
 		}
-		evG := p.Evaluate(gm)
 		row.GlobalMax, row.GlobalDev = evG.MaxAPL, evG.DevAPL
 		start := time.Now()
-		sm, err := mapping.MapAndCheck(ctx, mapping.SortSelectSwap{}, p)
+		_, evS, err := mapEvalUncached(ctx, p, mapping.SortSelectSwap{})
 		if err != nil {
 			return nil, err
 		}
 		row.SSSRuntime = time.Since(start)
-		evS := p.Evaluate(sm)
 		row.SSSMax, row.SSSDev = evS.MaxAPL, evS.DevAPL
 		if row.LowerBound, err = p.LowerBound(); err != nil {
 			return nil, err

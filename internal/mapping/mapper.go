@@ -47,6 +47,38 @@ type Mapper interface {
 	Map(ctx context.Context, p *core.Problem) (core.Mapping, error)
 }
 
+// ObjectiveFingerprint returns the content fingerprint of the
+// objective mapper m optimizes, for artifact WorkUnit descriptors. By
+// the Mapper contract a non-default objective is already folded into
+// m.Fingerprint(); this surfaces it as a separate, self-describing
+// field so stores and daemons can classify artifacts without
+// instantiating the mapper. Mappers without a configurable objective
+// report the cost they minimize by construction: the paper's max-APL
+// for the heuristics, g-APL for Global (a chip-wide Hungarian
+// assignment minimizes overall latency, not balance).
+func ObjectiveFingerprint(m Mapper) string {
+	var o core.Objective
+	switch v := m.(type) {
+	case Global:
+		return core.GAPL{}.Fingerprint()
+	case MonteCarlo:
+		o = v.Objective
+	case Annealing:
+		o = v.Objective
+	case SortSelectSwap:
+		o = v.Objective
+	case ClusterSA:
+		o = v.Objective
+	case Genetic:
+		o = v.Objective
+	case BalancedGreedy:
+		o = v.Objective
+	case Exact:
+		o = v.Objective
+	}
+	return core.ObjectiveOrDefault(o).Fingerprint()
+}
+
 // MapAndCheck runs m on p and validates the returned permutation,
 // wrapping any violation with the mapper's name. Experiment harnesses use
 // this so a buggy mapper can never silently corrupt results. Each

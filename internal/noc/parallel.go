@@ -52,11 +52,13 @@ import (
 // in the serial engine, the progress atomics carry the happens-before
 // edges, and the wavefront is a linear extension of serial order — so
 // the immediate credit writes are both race-free and value-identical.
-// Inactive routers neither produce nor consume credits, so progress
-// skips past them without waiting (an idle row publishes completion
-// immediately and costs nothing). Rows form a DAG (row i only ever
-// waits on row i-1), so the wavefront cannot deadlock, torus wrap
-// included — wrap neighbours are ordered by the transitive row chain.
+// Inactive routers neither produce nor consume credits, so on a mesh
+// progress skips past them without waiting (an idle row publishes
+// completion immediately and costs nothing). On a torus the wrap rows
+// are neighbours ordered only by the transitive row chain, so idle
+// columns still wait for the row above before publishing — see arbRow.
+// Rows form a DAG (row i only ever waits on row i-1), so the wavefront
+// cannot deadlock.
 //
 // # Why P3 is serial
 //
@@ -324,6 +326,15 @@ func (e *parEngine) runWorker(id int) {
 
 // arbRow arbitrates one row's active routers left-to-right, publishing
 // column progress and honouring the north-neighbour wavefront wait.
+//
+// On a torus the wrap rows (0 and rows-1) are neighbours whose only
+// ordering is the transitive chain prog[0] -> prog[1] -> … ->
+// prog[rows-2], so every row — idle columns included — must keep the
+// chain monotone: publish progress past column j only after the north
+// row has passed j. Skipping ahead through an idle row (fine on a mesh,
+// where that row neither reads nor writes credits) would let the two
+// wrap rows arbitrate concurrently while exchanging credit returns over
+// the wrap links (caught by TestWrapRowsOnly under -race).
 func (e *parEngine) arbRow(i int, now int64) {
 	n := e.n
 	rs := &e.rows[i]
@@ -333,21 +344,23 @@ func (e *parEngine) arbRow(i int, now int64) {
 	if i > 0 {
 		north = &e.prog[i-1].v
 	}
+	var chain *atomic.Int32 // wait target before publishing skipped columns
+	if n.cfg.Torus {
+		chain = north
+	}
 	done := int32(0)
 	for _, rid := range rs.act {
 		r := n.routers[rid]
 		j := int32(r.col)
 		if j > done {
 			// Columns done..j-1 are inactive: publish them so the row
-			// below never waits on routers that do nothing.
+			// below never waits on routers that do nothing (after the
+			// torus chain wait above keeps prog monotone across rows).
+			waitProg(chain, j)
 			my.Store(j)
 		}
 		if north != nil {
-			for spins := 0; north.Load() <= j; spins++ {
-				if spins > barrierSpins {
-					runtime.Gosched()
-				}
-			}
+			waitProg(north, j+1)
 		}
 		var inputUsed [numPorts]bool
 		for p := Port(0); p < numPorts; p++ {
@@ -359,7 +372,21 @@ func (e *parEngine) arbRow(i int, now int64) {
 		my.Store(done)
 	}
 	if done < cols {
+		waitProg(chain, cols)
 		my.Store(cols)
+	}
+}
+
+// waitProg spins until p (a row progress counter) reaches at least v;
+// nil means no ordering is required.
+func waitProg(p *atomic.Int32, v int32) {
+	if p == nil {
+		return
+	}
+	for spins := 0; p.Load() < v; spins++ {
+		if spins > barrierSpins {
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -22,8 +22,8 @@ func wrapRun(t *testing.T, workers int) uint64 {
 		for col := 0; col < 4; col++ {
 			if rng.Float64() < 0.4 {
 				p := n.AllocPacket()
-				p.Src = mesh.Tile(col)          // row 0
-				p.Dst = mesh.Tile(3*4 + col)    // row 3, same column (wrap hop)
+				p.Src = mesh.Tile(col)       // row 0
+				p.Dst = mesh.Tile(3*4 + col) // row 3, same column (wrap hop)
 				p.Type, p.App = CacheRequest, 0
 				_ = n.Inject(p)
 			}

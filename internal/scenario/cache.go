@@ -2,176 +2,107 @@ package scenario
 
 import (
 	"context"
-	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"obm/internal/artifact"
 	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/mapping"
-	"obm/internal/obs"
 )
 
-// Process-wide cache metrics (every Cache instance feeds them; in
-// practice one shared cache lives per process). Exported so the
-// cmd/obmsim metrics block can report artifact reuse next to the NoC
-// and replica counters.
-var (
-	mHits     = obs.Default().Counter("scenario.cache.hits")
-	mMisses   = obs.Default().Counter("scenario.cache.misses")
-	mInflight = obs.Default().Gauge("scenario.cache.inflight")
-)
-
-// Artifact is one memoized mapper invocation: the validated mapping and
-// its full evaluation on the problem it was computed for.
-type Artifact struct {
-	// Mapping is the mapper's validated permutation.
-	Mapping core.Mapping
-	// Eval is Problem.Evaluate of that mapping.
-	Eval core.Evaluation
-}
-
-// clone returns an independent copy so callers can never corrupt the
-// cached artifact (Mapping and Eval.APLs are slices).
-func (a Artifact) clone() Artifact {
-	out := Artifact{Mapping: a.Mapping.Clone(), Eval: a.Eval}
-	out.Eval.APLs = append([]float64(nil), a.Eval.APLs...)
-	return out
-}
-
-// entry is one cache slot. The first requester computes; done is closed
-// when Mapping/Eval/err are final, and everyone else waits on it
-// (singleflight).
-type entry struct {
-	done chan struct{}
-	art  Artifact
-	err  error
-}
-
-// Cache memoizes mapper invocations content-keyed by
-// (Problem.Fingerprint, Mapper.Fingerprint). It is safe for concurrent
-// use: simultaneous requests for the same key share one computation,
-// and distinct keys compute in parallel. Both fingerprints are content
-// hashes, so independently built but identical problems (every runner
-// builds its own) share artifacts, and a cached result is bit-identical
-// to a recomputed one because mappers are deterministic by contract.
-//
-// Errors are not cached: a failed, cancelled, or panicking computation
-// removes the slot so a later request retries (waiters that joined the
-// failed flight do share its error).
+// Cache is the mapper-facing adapter over the two-tier artifact store
+// (internal/artifact): it translates a (Problem, Mapper) pair into a
+// canonical artifact.WorkUnit, supplies the compute callback
+// (mapping.MapAndCheck + Problem.Evaluate), and reports tier-accurate
+// skipped-stage progress on hits. All caching policy — singleflight,
+// the optional disk tier, eviction, corruption recovery — lives in the
+// store; this layer only knows how to describe and produce mapper
+// artifacts.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-
-	// hits/misses are guarded by mu (not independent atomics) so a
-	// Stats snapshot is one coherent pair — hits+misses equals the
-	// number of successfully served requests plus started computations,
-	// never a torn mix of before/after two racing updates.
-	hits, misses uint64
+	store *artifact.Store
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*entry)}
+// NewCache returns a memory-only cache (the default for tests and
+// library callers that never opt into persistence).
+func NewCache() *Cache { return NewCacheWith(nil) }
+
+// NewCacheWith returns a cache over the given disk tier; nil means
+// memory-only.
+func NewCacheWith(disk *artifact.DiskTier) *Cache {
+	return &Cache{store: artifact.NewStore(disk)}
+}
+
+// workUnit builds the canonical descriptor for one mapper invocation.
+func workUnit(p *core.Problem, m mapping.Mapper) artifact.WorkUnit {
+	return artifact.NewWorkUnit(p.Fingerprint(), m.Fingerprint(), mapping.ObjectiveFingerprint(m))
+}
+
+// computeFn returns the store compute callback for one invocation.
+func computeFn(p *core.Problem, m mapping.Mapper) func(context.Context) (artifact.Artifact, error) {
+	return func(ctx context.Context) (artifact.Artifact, error) {
+		mp, err := mapping.MapAndCheck(ctx, m, p)
+		if err != nil {
+			return artifact.Artifact{}, err
+		}
+		return artifact.Artifact{Mapping: mp, Eval: p.Evaluate(mp)}, nil
+	}
 }
 
 // MapEval returns mapper m's validated mapping and evaluation on p,
-// computing it at most once per distinct (problem, mapper) content key.
-// A hit (or a shared in-flight computation) reports a skipped stage to
-// the context's engine progress sink; a miss runs mapping.MapAndCheck
-// and Problem.Evaluate under ctx as usual. The returned artifact is an
+// computing it at most once per distinct work unit — per process via
+// the singleflight memory tier, and per machine when a disk tier is
+// attached. A hit reports a skipped stage naming the serving tier
+// ("cached:" for memory, "disk:" for the persistent tier) to the
+// context's engine progress sink; a miss runs mapping.MapAndCheck and
+// Problem.Evaluate under ctx as usual. The returned artifact is an
 // independent copy — callers may mutate it freely.
 func (c *Cache) MapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
-	key := p.Fingerprint() + "|" + m.Fingerprint()
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-e.done:
-		case <-ctx.Done():
-			return nil, core.Evaluation{}, fmt.Errorf("scenario: waiting for shared %s artifact: %w", m.Name(), ctx.Err())
-		}
-		if e.err != nil {
-			return nil, core.Evaluation{}, e.err
-		}
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
-		mHits.Inc()
-		engine.ReportSkipped(ctx, "cached:"+m.Name())
-		art := e.art.clone()
-		return art.Mapping, art.Eval, nil
-	}
-	e := &entry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.misses++
-	c.mu.Unlock()
-	mMisses.Inc()
-	mInflight.Add(1)
-	return c.compute(ctx, key, e, p, m)
-}
-
-// compute runs the mapper for the entry this caller owns and finalizes
-// it exactly once, however the computation ends — success, error, or
-// panic. The deferred completion is what makes the singleflight
-// panic-safe: without it a panic in the mapper (or in Evaluate) would
-// leave e.done forever open, deadlocking every waiter on the key and
-// permanently leaking the slot. A panic is converted into an error the
-// waiters can return, the slot is evicted so a later request retries,
-// and then the panic is re-raised on the owning goroutine — the
-// repository's panic policy (programmer error stays loud) is preserved
-// while no bystander can hang on it.
-func (c *Cache) compute(ctx context.Context, key string, e *entry, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
-	completed := false
-	defer func() {
-		mInflight.Add(-1)
-		if completed {
-			return
-		}
-		r := recover()
-		e.err = fmt.Errorf("scenario: computing %s artifact panicked: %v", m.Name(), r)
-		c.mu.Lock()
-		delete(c.entries, key)
-		c.mu.Unlock()
-		close(e.done)
-		if r != nil {
-			panic(r)
-		}
-	}()
-	mp, err := mapping.MapAndCheck(ctx, m, p)
+	art, src, err := c.store.Get(ctx, workUnit(p, m), computeFn(p, m))
 	if err != nil {
-		e.err = err
-		c.mu.Lock()
-		delete(c.entries, key)
-		c.mu.Unlock()
-		close(e.done)
-		completed = true
 		return nil, core.Evaluation{}, err
 	}
-	e.art = Artifact{Mapping: mp, Eval: p.Evaluate(mp)}
-	close(e.done)
-	completed = true
-	art := e.art.clone()
+	switch src {
+	case artifact.SourceMemory:
+		engine.ReportSkipped(ctx, "cached:"+m.Name())
+	case artifact.SourceDisk:
+		engine.ReportSkipped(ctx, "disk:"+m.Name())
+	}
 	return art.Mapping, art.Eval, nil
 }
 
-// Stats returns the cumulative hit and miss counts, read under one
-// lock so the pair is coherent — a concurrent snapshot can never show
-// a torn hits/misses mix that disagrees with the requests actually
-// served. Misses equal the number of mapper invocations started
-// through the cache.
-func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// MapEvalUncached is the explicit no-cache path for harnesses that
+// measure mapper wall time: it runs the mapper and evaluation directly,
+// touching neither store tier, and counts the bypass so tests can
+// enforce that timing runners really skip the cache (and that cached
+// runners never do). Silent cache bypasses — calling
+// mapping.MapAndCheck directly from a runner — are a bug; route
+// through here instead.
+func (c *Cache) MapEvalUncached(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
+	art, err := c.store.Bypass(ctx, computeFn(p, m))
+	if err != nil {
+		return nil, core.Evaluation{}, err
+	}
+	return art.Mapping, art.Eval, nil
 }
 
-// Len returns the number of completed-or-in-flight artifacts held.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+// Stats returns the cumulative hit and miss counts of the legacy
+// (hits, misses) shape: hits are requests served without computing
+// (memory or disk tier), misses are compute callbacks started. Use
+// StoreStats for the per-tier breakdown.
+func (c *Cache) Stats() (hits, misses uint64) {
+	st := c.store.Stats()
+	return st.MemHits + st.DiskHits, st.Computed
 }
+
+// StoreStats returns the per-tier request accounting.
+func (c *Cache) StoreStats() artifact.Stats { return c.store.Stats() }
+
+// Store returns the underlying two-tier store.
+func (c *Cache) Store() *artifact.Store { return c.store }
+
+// Len returns the number of completed-or-in-flight artifacts held in
+// the memory tier.
+func (c *Cache) Len() int { return c.store.Len() }
 
 // shared is the process-wide artifact cache every experiment runner
 // routes mapper invocations through, so one `obmsim -exp all` run (and
@@ -184,11 +115,26 @@ func init() { shared.Store(NewCache()) }
 // Shared returns the process-wide artifact cache.
 func Shared() *Cache { return shared.Load() }
 
-// ResetShared installs a fresh empty shared cache and returns it.
-// Tests use it to measure cold-path behaviour; long-lived servers can
-// use it to bound memory across unrelated batches.
+// ResetShared installs a fresh empty memory-only shared cache and
+// returns it. Tests use it to measure cold-path behaviour; long-lived
+// servers can use it to bound memory across unrelated batches.
 func ResetShared() *Cache {
 	c := NewCache()
 	shared.Store(c)
 	return c
+}
+
+// ConfigureShared installs a shared cache backed by a persistent disk
+// tier rooted at dir with the given byte budget (maxBytes <= 0:
+// unbounded), warming it from whatever artifacts earlier processes
+// left there, and returns it. cmd/obmsim calls this for -cachedir; the
+// memory tier starts empty either way.
+func ConfigureShared(dir string, maxBytes int64) (*Cache, error) {
+	disk, err := artifact.OpenDisk(dir, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCacheWith(disk)
+	shared.Store(c)
+	return c, nil
 }

@@ -8,16 +8,20 @@
 //     it covers, the sample budgets of every stochastic component, and
 //     the base seed — replacing the copy-pasted scaffolding that used
 //     to sit at the top of each runner;
-//   - Cache memoizes deterministic mapper invocations content-keyed by
-//     (problem fingerprint, mapper fingerprint) with singleflight
-//     semantics, so a batch run computes each distinct (configuration,
-//     mapper) artifact exactly once no matter how many experiments ask
-//     for it.
+//   - Cache adapts mapper invocations onto the two-tier artifact store
+//     (internal/artifact): each invocation becomes a canonical
+//     WorkUnit content-keyed by (problem fingerprint, mapper
+//     fingerprint, objective fingerprint, schema version) and is
+//     computed at most once per process via the singleflight memory
+//     tier — and at most once per machine when a persistent disk tier
+//     is attached — no matter how many experiments ask for it.
 //
 // The layer preserves reproducibility by construction: mappers are
 // deterministic for a fixed configuration, problems are content-keyed,
-// so a cached artifact is bit-identical to a recomputed one, and a
-// cold run renders the same bytes as a warm one.
+// and the artifact encoding preserves float64 bits exactly, so a
+// cached artifact — in-memory or read back from disk by a later
+// process — is bit-identical to a recomputed one, and a cold run
+// renders the same bytes as a warm one.
 package scenario
 
 import (
@@ -80,6 +84,16 @@ type Spec struct {
 	// (TestSpecWorkersInvariantKeys enforces this). Runs that must be
 	// byte-reproducible record (Seed, Workers) together.
 	Workers int
+	// CacheDir roots the persistent disk tier of the artifact store
+	// ("" keeps the store memory-only). Like Workers it is an
+	// execution-shape knob: it must never reach a mapper fingerprint or
+	// artifact key, so the same artifacts are served whatever directory
+	// — or no directory — a run was started with
+	// (TestSpecCacheKnobsInvariantKeys enforces this).
+	CacheDir string
+	// CacheSizeBytes bounds the disk tier (LRU-evicted); <= 0 means
+	// unbounded. Execution-shape only, like CacheDir.
+	CacheSizeBytes int64
 }
 
 // StandardMappers returns the paper's four comparison algorithms
