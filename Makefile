@@ -37,10 +37,10 @@ bench-diff:
 # Everything CI gates on: vet, staticcheck (when installed), build, the
 # full test suite, and the race detector over the packages that fan
 # work out across goroutines or share mutable state (the obs registry,
-# the artifact store, and the scenario cache are exercised by dedicated
-# hammer tests).
+# the artifact store, the scenario cache, the job service, and both
+# frontends are exercised by dedicated hammer/lifecycle tests).
 check: vet staticcheck build test
-	go test -race ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/noc/... ./internal/sim/... ./internal/obs/... ./internal/scenario/... ./internal/artifact/...
+	go test -race ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/noc/... ./internal/sim/... ./internal/obs/... ./internal/scenario/... ./internal/artifact/... ./internal/service/... ./cmd/obmsim/... ./cmd/obmsimd/...
 
 # staticcheck is optional locally (CI installs it); skip with a note
 # rather than failing on machines that don't have it.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"obm/internal/artifact"
 	"obm/internal/scenario"
 )
 
@@ -23,9 +24,6 @@ type runEnvelope struct {
 		Dir       string `json:"dir"`
 		SizeBytes int64  `json:"size_bytes"`
 		Schema    int    `json:"artifact_schema"`
-		MemHits   uint64 `json:"mem_hits"`
-		DiskHits  uint64 `json:"disk_hits"`
-		Computed  uint64 `json:"computed"`
 	} `json:"cache"`
 	Experiments json.RawMessage `json:"experiments"`
 }
@@ -34,12 +32,15 @@ type runEnvelope struct {
 // layer: a first run with -cachedir computes its artifacts and leaves
 // them on disk; a second run over the same directory (fresh memory
 // tier — ConfigureShared installs one per run) computes nothing, serves
-// everything from disk, and produces byte-identical experiment output.
+// everything from disk, and produces a byte-identical envelope. The
+// per-run traffic stats live outside the envelope (progress line, the
+// metrics block, the daemon's job status), so they are read from the
+// shared store here.
 func TestCacheDirColdWarm(t *testing.T) {
 	cache := t.TempDir()
 	out := t.TempDir()
 	t.Cleanup(func() { scenario.ResetShared() })
-	do := func(jsonPath string) runEnvelope {
+	do := func(jsonPath string) (runEnvelope, []byte, artifact.Stats) {
 		t.Helper()
 		var stdout, stderr bytes.Buffer
 		code := run(context.Background(),
@@ -56,33 +57,41 @@ func TestCacheDirColdWarm(t *testing.T) {
 		if err := json.Unmarshal(data, &env); err != nil {
 			t.Fatalf("envelope: %v", err)
 		}
-		return env
+		// ConfigureShared installs a fresh memory tier per run, so the
+		// shared store's counters are this run's traffic exactly.
+		return env, data, scenario.Shared().StoreStats()
 	}
 
-	cold := do(filepath.Join(out, "cold.json"))
+	cold, coldRaw, coldStats := do(filepath.Join(out, "cold.json"))
 	if cold.Cache.Dir != cache || cold.Cache.SizeBytes != 256<<20 || cold.Options.CacheDir != cache {
 		t.Errorf("disk tier not recorded in envelope: %+v", cold.Cache)
 	}
 	if cold.Cache.Schema != 1 {
 		t.Errorf("artifact schema = %d, want 1", cold.Cache.Schema)
 	}
-	if cold.Cache.Computed == 0 || cold.Cache.DiskHits != 0 {
-		t.Fatalf("cold run cache block = %+v, want computes and no disk hits", cold.Cache)
+	if coldStats.Computed == 0 || coldStats.DiskHits != 0 {
+		t.Fatalf("cold run stats = %+v, want computes and no disk hits", coldStats)
 	}
 	files, err := filepath.Glob(filepath.Join(cache, "*.obma"))
-	if err != nil || uint64(len(files)) != cold.Cache.Computed {
-		t.Errorf("%d artifact files on disk for %d computes (%v)", len(files), cold.Cache.Computed, err)
+	if err != nil || uint64(len(files)) != coldStats.Computed {
+		t.Errorf("%d artifact files on disk for %d computes (%v)", len(files), coldStats.Computed, err)
 	}
 
-	warm := do(filepath.Join(out, "warm.json"))
-	if warm.Cache.Computed != 0 {
-		t.Errorf("warm run computed %d artifacts, want 0", warm.Cache.Computed)
+	warm, warmRaw, warmStats := do(filepath.Join(out, "warm.json"))
+	if warmStats.Computed != 0 {
+		t.Errorf("warm run computed %d artifacts, want 0", warmStats.Computed)
 	}
-	if warm.Cache.DiskHits != cold.Cache.Computed {
-		t.Errorf("warm run disk hits = %d, want %d (one per cold compute)", warm.Cache.DiskHits, cold.Cache.Computed)
+	if warmStats.DiskHits != coldStats.Computed {
+		t.Errorf("warm run disk hits = %d, want %d (one per cold compute)", warmStats.DiskHits, coldStats.Computed)
 	}
 	if !bytes.Equal(cold.Experiments, warm.Experiments) {
 		t.Error("warm results differ from cold: disk tier is not byte-transparent")
+	}
+	// The envelope carries no per-run traffic, so the whole document —
+	// not just the results — must be byte-identical across cold and
+	// warm. This is what lets a daemon job and a CLI run agree too.
+	if !bytes.Equal(coldRaw, warmRaw) {
+		t.Error("cold and warm envelopes differ: envelope is not a pure function of the request")
 	}
 }
 

@@ -20,12 +20,18 @@
 // in-flight experiment promptly, keeps everything already printed, and
 // exits non-zero with a note on how far the batch got.
 //
+// The command is a thin synchronous client of internal/service: flags
+// assemble a service.Request, service.Execute runs it, and the -json
+// envelope is the service's — byte-identical to what the obmsimd
+// daemon returns for the same request.
+//
 // Observability: -metrics prints the process metrics registry (NoC flit
 // and cycle counters, replica utilization, mapper wall time, cache
-// hits/misses, per-experiment durations) after the run and embeds the
-// same snapshot as an obsim.metrics/v1 block in the -json envelope;
-// -pprof serves net/http/pprof, and -cpuprofile/-memprofile write
-// runtime profiles for offline `go tool pprof`.
+// hits/misses, per-experiment durations) after the run — as an aligned
+// table, or as Prometheus text exposition with -metricsfmt prom — and
+// embeds the same snapshot as an obsim.metrics/v1 block in the -json
+// envelope; -pprof serves net/http/pprof, and -cpuprofile/-memprofile
+// write runtime profiles for offline `go tool pprof`.
 package main
 
 import (
@@ -44,11 +50,11 @@ import (
 	"time"
 
 	"obm/internal/artifact"
-	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/experiments"
 	"obm/internal/obs"
 	"obm/internal/scenario"
+	"obm/internal/service"
 )
 
 func main() {
@@ -57,24 +63,23 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// progressSink prints throttled one-line progress events. Reporters
-// below already throttle per stage, but several stages report
-// concurrently (parallel configs, replica workers), so the sink applies
-// its own global spacing to keep stderr readable.
-type progressSink struct {
+// progressWriter formats one-line progress events for stderr. Spacing
+// is the engine.Throttled wrapper's job (installed in run); Throttled
+// never drops Skipped or Final events, so the per-stage completion
+// line from Reporter.Finish always reaches the terminal.
+type progressWriter struct {
 	w io.Writer
 
-	mu   sync.Mutex
-	last time.Time
+	mu sync.Mutex
 }
 
-func (s *progressSink) Event(p engine.Progress) {
+func (s *progressWriter) Event(p engine.Progress) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if p.Skipped {
 		// Cache hits are rare, cheap, and the run's main observability
-		// signal, so they bypass the spacing throttle. The stage prefix
-		// names the serving tier ("cached:" memory, "disk:" persistent).
+		// signal. The stage prefix names the serving tier ("cached:"
+		// memory, "disk:" persistent).
 		tier := "cache hit"
 		if strings.HasPrefix(p.Stage, "disk:") {
 			tier = "disk hit"
@@ -82,11 +87,6 @@ func (s *progressSink) Event(p engine.Progress) {
 		fmt.Fprintf(s.w, "progress: %s skipped (%s)\n", p.Stage, tier)
 		return
 	}
-	now := time.Now()
-	if now.Sub(s.last) < 250*time.Millisecond {
-		return
-	}
-	s.last = now
 	if p.Total > 0 {
 		fmt.Fprintf(s.w, "progress: %s %d/%d (%v)\n", p.Stage, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
 	} else {
@@ -100,25 +100,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("obmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "", "experiment ID (see -list), or 'all'")
-		list      = fs.Bool("list", false, "list available experiments")
-		quick     = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
-		seed      = fs.Uint64("seed", 1, "base random seed")
-		configs   = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
-		objective = fs.String("objective", "", "optimization objective for the optimizing mappers: max (default), dev, global, ratio, or weighted:max=1,dev=2")
-		workers   = fs.Int("workers", 0, "worker goroutines for the parallel mappers and the NoC step engine: 0 serial (default), -1 all cores; simulator statistics are identical for any value")
-		cacheDir  = fs.String("cachedir", "", "directory for the persistent mapper-artifact cache shared across runs (empty: in-memory only); artifacts are content-addressed, so any run may share a directory")
-		cacheSize = fs.Int64("cachesize", 256<<20, "byte budget for -cachedir (least-recently-used artifacts are evicted; <= 0: unbounded)")
-		csvPath   = fs.String("csv", "", "also write CSV output to this file")
-		svgDir    = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
-		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
-		progress  = fs.Bool("progress", false, "print throttled progress events to stderr")
-		jsonPath  = fs.String("json", "", "write all results as one JSON document to this file")
-		jsonDir   = fs.String("jsondir", "", "write each experiment's JSON document to <dir>/<id>.json")
-		metrics   = fs.Bool("metrics", false, "print the run's metrics table and embed an obsim.metrics/v1 block in -json output")
-		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		exp        = fs.String("exp", "", "experiment ID (see -list), or 'all'")
+		list       = fs.Bool("list", false, "list available experiments")
+		quick      = fs.Bool("quick", false, "smaller sample budgets (faster, noisier)")
+		seed       = fs.Uint64("seed", 1, "base random seed")
+		configs    = fs.String("configs", "", "comma-separated configuration subset (e.g. C1,C5)")
+		objective  = fs.String("objective", "", "optimization objective for the optimizing mappers: max (default), dev, global, ratio, or weighted:max=1,dev=2")
+		workers    = fs.Int("workers", 0, "worker goroutines for the parallel mappers and the NoC step engine: 0 serial (default), -1 all cores; simulator statistics are identical for any value")
+		cacheDir   = fs.String("cachedir", "", "directory for the persistent mapper-artifact cache shared across runs (empty: in-memory only); artifacts are content-addressed, so any run may share a directory")
+		cacheSize  = fs.Int64("cachesize", 0, "byte budget for -cachedir (least-recently-used artifacts are evicted; 0: the 256 MiB default, < 0: unbounded)")
+		csvPath    = fs.String("csv", "", "also write CSV output to this file")
+		svgDir     = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
+		progress   = fs.Bool("progress", false, "print throttled progress events to stderr")
+		jsonPath   = fs.String("json", "", "write all results as one JSON document to this file")
+		jsonDir    = fs.String("jsondir", "", "write each experiment's JSON document to <dir>/<id>.json")
+		metrics    = fs.Bool("metrics", false, "print the run's metrics and embed an obsim.metrics/v1 block in -json output")
+		metricsFmt = fs.String("metricsfmt", "table", "format for -metrics output: table, or prom (Prometheus text exposition)")
+		pprofSrv   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the run's duration")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -149,8 +150,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		fmt.Fprintln(stdout, "available experiments:")
-		for _, r := range experiments.All() {
-			fmt.Fprintf(stdout, "  %-9s %s\n", r.ID(), r.Title())
+		for _, e := range service.Experiments() {
+			fmt.Fprintf(stdout, "  %-9s %s\n", e.ID, e.Title)
 		}
 		return 0
 	}
@@ -158,69 +159,62 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "obmsim: -exp required (or -list); e.g. obmsim -exp table1")
 		return 2
 	}
-
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers, CacheDir: *cacheDir, CacheSize: *cacheSize}
-	if *cacheDir != "" {
-		if _, err := scenario.ConfigureShared(*cacheDir, *cacheSize); err != nil {
-			fmt.Fprintln(stderr, "obmsim:", err)
-			return 2
-		}
-	}
-	if *configs != "" {
-		opts.Configs = strings.Split(*configs, ",")
-	}
-	if *objective != "" {
-		obj, err := core.ParseObjective(*objective)
-		if err != nil {
-			fmt.Fprintln(stderr, "obmsim:", err)
-			return 2
-		}
-		opts.Objective = obj
-	}
-	if err := opts.Validate(); err != nil {
-		fmt.Fprintln(stderr, "obmsim:", err)
+	if *metricsFmt != "table" && *metricsFmt != "prom" {
+		fmt.Fprintf(stderr, "obmsim: -metricsfmt %q: want table or prom\n", *metricsFmt)
 		return 2
 	}
 
-	var runners []experiments.Runner
+	// Flags become the transport-neutral request the service layer
+	// executes — the same structure a daemon job posts as JSON.
+	req := service.Request{
+		Quick:     *quick,
+		Seed:      *seed,
+		Objective: *objective,
+		Workers:   *workers,
+		CacheDir:  *cacheDir,
+		CacheSize: *cacheSize,
+	}
+	if *configs != "" {
+		req.Configs = strings.Split(*configs, ",")
+	}
 	if *exp == "all" {
-		runners = experiments.All()
+		req.Experiments = []string{"all"}
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			r, err := experiments.Get(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(stderr, "obmsim:", err)
-				return 2
-			}
-			runners = append(runners, r)
-		}
+		req.Experiments = strings.Split(*exp, ",")
 	}
 
-	jobs := make([]engine.Job, len(runners))
+	// Resolve up front so usage mistakes (unknown experiment, bad
+	// objective, unknown config) exit 2 before any work, as they always
+	// have; the runner list also gives the batch total for the
+	// interruption summary below.
+	_, runners, err := req.Resolve()
+	if err != nil {
+		fmt.Fprintln(stderr, "obmsim:", strings.TrimPrefix(err.Error(), service.ErrBadRequest.Error()+": "))
+		return 2
+	}
 	titles := make(map[string]string, len(runners))
-	for i, r := range runners {
-		r := r
+	for _, r := range runners {
 		titles[r.ID()] = r.Title()
-		jobs[i] = engine.Job{
-			Name: r.ID(),
-			Run:  func(ctx context.Context) (any, error) { return r.Run(ctx, opts) },
+	}
+
+	// Attaching the artifact disk tier is the host's job: once per run
+	// here, once per process in the daemon.
+	if *cacheDir != "" {
+		if _, err := scenario.ConfigureShared(*cacheDir, req.Normalized().CacheSize); err != nil {
+			fmt.Fprintln(stderr, "obmsim:", err)
+			return 2
 		}
 	}
 
 	// OnResult streams each experiment's output as soon as it finishes,
 	// so an interrupted batch still shows everything that completed.
-	type jsonEntry struct {
-		ID     string          `json:"id"`
-		Title  string          `json:"title"`
-		Result json.RawMessage `json:"result"`
-	}
 	var csv strings.Builder
-	var jsonEntries []jsonEntry
 	printed := 0
 	var writeErr error
-	eng := engine.Runner{
+	cfg := service.ExecConfig{
 		Timeout: *timeout,
-		OnResult: func(res engine.Result) {
+		Metrics: *metrics,
+		OnResult: func(res engine.Result, raw json.RawMessage) {
 			if res.Err != nil || writeErr != nil {
 				return
 			}
@@ -234,20 +228,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if *csvPath != "" {
 				fmt.Fprintf(&csv, "# %s: %s\n%s", res.Name, titles[res.Name], r.CSV())
 			}
-			if *jsonPath != "" || *jsonDir != "" {
-				raw, jerr := r.JSON()
-				if jerr != nil {
-					writeErr = fmt.Errorf("encoding %s result: %w", res.Name, jerr)
+			if *jsonDir != "" && raw != nil {
+				writeErr = writeJSONArtifact(stdout, *jsonDir, res.Name, raw)
+				if writeErr != nil {
 					return
-				}
-				if *jsonPath != "" {
-					jsonEntries = append(jsonEntries, jsonEntry{ID: res.Name, Title: titles[res.Name], Result: raw})
-				}
-				if *jsonDir != "" {
-					writeErr = writeJSONArtifact(stdout, *jsonDir, res.Name, raw)
-					if writeErr != nil {
-						return
-					}
 				}
 			}
 			if *svgDir != "" {
@@ -258,31 +242,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		},
 	}
 	if *progress {
-		eng.Sink = &progressSink{w: stderr}
+		cfg.Sink = engine.Throttled(&progressWriter{w: stderr}, 250*time.Millisecond)
 	}
 
-	results, err := eng.Run(ctx, jobs)
-	cacheStats := scenario.Shared().StoreStats()
+	out, err := service.Execute(ctx, req, cfg)
+	if out == nil {
+		out = &service.Outcome{}
+	}
 	if *progress {
 		fmt.Fprintf(stderr, "obmsim: mapper artifact store: %d computed, %d memory hits, %d disk hits\n",
-			cacheStats.Computed, cacheStats.MemHits, cacheStats.DiskHits)
+			out.Stats.Computed, out.Stats.MemHits, out.Stats.DiskHits)
 	}
-	// One post-run snapshot feeds both the printed table and the JSON
-	// block, so the two can never disagree; the cache summary line is
+	// The printed metrics render the snapshot Execute embedded in the
+	// envelope, so the two can never disagree; the cache summary line is
 	// derived from the same snapshot for the same reason.
-	var mblock *metricsBlock
-	if *metrics {
-		snap := obs.Default().Snapshot()
-		mblock = &metricsBlock{Schema: metricsSchema, Snapshot: snap}
+	if *metrics && out.Metrics != nil {
 		if printed > 0 {
 			fmt.Fprintln(stdout)
 		}
-		computed, _ := snap.Counter("artifact.store.computed")
-		memHits, _ := snap.Counter("artifact.mem.hits")
-		diskHits, _ := snap.Counter("artifact.disk.hits")
-		fmt.Fprintf(stdout, "mapper artifact store: %d computed, %d memory hits, %d disk hits\n",
-			computed, memHits, diskHits)
-		printMetrics(stdout, snap)
+		snap := out.Metrics.Snapshot
+		if *metricsFmt == "prom" {
+			if werr := obs.WritePrometheus(stdout, snap); werr != nil {
+				fmt.Fprintln(stderr, "obmsim: writing metrics:", werr)
+				return 1
+			}
+		} else {
+			computed, _ := snap.Counter("artifact.store.computed")
+			memHits, _ := snap.Counter("artifact.mem.hits")
+			diskHits, _ := snap.Counter("artifact.disk.hits")
+			fmt.Fprintf(stdout, "mapper artifact store: %d computed, %d memory hits, %d disk hits\n",
+				computed, memHits, diskHits)
+			printMetrics(stdout, snap)
+		}
 	}
 	if *csvPath != "" && csv.Len() > 0 {
 		if werr := artifact.WriteFileAtomic(*csvPath, []byte(csv.String()), 0o644); werr != nil {
@@ -291,51 +282,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "CSV written to %s\n", *csvPath)
 	}
-	if *jsonPath != "" && len(jsonEntries) > 0 && writeErr == nil {
-		// The options block records everything a reader needs to reproduce
-		// the run byte-for-byte. Workers matters because Monte-Carlo's
-		// sample partition depends on it; seed alone does not pin the run.
-		// The cache block records the artifact store's disk tier and
-		// per-tier traffic — results are bit-identical with or without
-		// it, so it documents provenance, not inputs.
-		type runOptions struct {
-			Seed      uint64   `json:"seed"`
-			Quick     bool     `json:"quick,omitempty"`
-			Workers   int      `json:"workers,omitempty"`
-			Configs   []string `json:"configs,omitempty"`
-			Objective string   `json:"objective,omitempty"`
-			CacheDir  string   `json:"cachedir,omitempty"`
-			CacheSize int64    `json:"cachesize,omitempty"`
-		}
-		type cacheBlock struct {
-			Dir       string `json:"dir,omitempty"`
-			SizeBytes int64  `json:"size_bytes,omitempty"`
-			Schema    int    `json:"artifact_schema"`
-			artifact.Stats
-		}
-		cblock := cacheBlock{Schema: artifact.SchemaVersion, Stats: cacheStats}
-		if *cacheDir != "" {
-			cblock.Dir, cblock.SizeBytes = *cacheDir, *cacheSize
-		}
-		doc, merr := json.MarshalIndent(struct {
-			Schema      string        `json:"schema"`
-			Options     runOptions    `json:"options"`
-			Cache       cacheBlock    `json:"cache"`
-			Experiments []jsonEntry   `json:"experiments"`
-			Metrics     *metricsBlock `json:"metrics,omitempty"`
-		}{
-			Schema: "obmsim.run/v1",
-			Options: runOptions{Seed: *seed, Quick: *quick, Workers: *workers, Configs: opts.Configs, Objective: *objective,
-				CacheDir: *cacheDir, CacheSize: opts.CacheSize},
-			Cache:       cblock,
-			Experiments: jsonEntries,
-			Metrics:     mblock,
-		}, "", "  ")
-		if merr != nil {
-			fmt.Fprintln(stderr, "obmsim: encoding json:", merr)
-			return 1
-		}
-		if werr := artifact.WriteFileAtomic(*jsonPath, append(doc, '\n'), 0o644); werr != nil {
+	if *jsonPath != "" && len(out.Entries) > 0 && writeErr == nil {
+		if werr := artifact.WriteFileAtomic(*jsonPath, out.Envelope, 0o644); werr != nil {
 			fmt.Fprintln(stderr, "obmsim: writing json:", werr)
 			return 1
 		}
@@ -349,13 +297,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "obmsim: %v\n", err)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			done := 0
-			for _, r := range results {
+			for _, r := range out.Results {
 				if r.Err == nil {
 					done++
 				}
 			}
 			fmt.Fprintf(stderr, "obmsim: interrupted; %d/%d experiments completed (partial results above)\n",
-				done, len(jobs))
+				done, len(runners))
 		}
 		return 1
 	}

@@ -13,25 +13,15 @@ import (
 	"time"
 
 	"obm/internal/obs"
+	"obm/internal/service"
 )
-
-// metricsSchema tags the metrics block embedded in the obmsim.run/v1
-// envelope and printed by -metrics.
-const metricsSchema = "obsim.metrics/v1"
-
-// metricsBlock is the wire form of the run's metrics: the registry
-// snapshot tagged with its schema.
-type metricsBlock struct {
-	Schema string `json:"schema"`
-	obs.Snapshot
-}
 
 // printMetrics renders the snapshot as an aligned table: counters and
 // gauges by name, histograms as count/mean/p50/p99 summaries.
 // Everything is derived from the one snapshot the caller took, so the
 // table and the JSON block can never disagree.
 func printMetrics(w io.Writer, snap obs.Snapshot) {
-	fmt.Fprintf(w, "metrics (%s):\n", metricsSchema)
+	fmt.Fprintf(w, "metrics (%s):\n", service.MetricsSchema)
 	width := 0
 	for _, c := range snap.Counters {
 		width = max(width, len(c.Name))

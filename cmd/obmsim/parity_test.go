@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obm/internal/service"
+)
+
+// TestEnvelopeMatchesServiceExecute pins the thin-client contract: the
+// file obmsim -json writes is byte-identical to the envelope
+// service.Execute assembles for the equivalent request — the same
+// property the daemon's jobs rely on.
+func TestEnvelopeMatchesServiceExecute(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "run.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-exp", "fig5,table3", "-quick", "-seed", "11", "-configs", "C1,C2", "-json", jsonPath},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	cli, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := service.Execute(context.Background(), service.Request{
+		Experiments: []string{"fig5", "table3"},
+		Quick:       true,
+		Seed:        11,
+		Configs:     []string{"C1", "C2"},
+	}, service.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cli, out.Envelope) {
+		t.Errorf("CLI envelope differs from service.Execute's:\ncli:     %s\nservice: %s",
+			truncateStr(string(cli), 400), truncateStr(string(out.Envelope), 400))
+	}
+}
+
+// TestMetricsPromFormat checks -metricsfmt prom writes Prometheus text
+// exposition instead of the aligned table, and that an unknown format
+// is a usage error.
+func TestMetricsPromFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-exp", "fig5", "-quick", "-metrics", "-metricsfmt", "prom"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	text := stdout.String()
+	if !strings.Contains(text, "# TYPE artifact_store_computed counter") {
+		t.Errorf("prom exposition missing counter TYPE line:\n%s", truncateStr(text, 600))
+	}
+	if strings.Contains(text, "metrics (obsim.metrics/v1):") {
+		t.Error("table header printed in prom format")
+	}
+
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-exp", "fig5", "-metrics", "-metricsfmt", "xml"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown -metricsfmt: exit %d, want 2 (%s)", code, stderr.String())
+	}
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

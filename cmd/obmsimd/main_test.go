@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"obm/internal/scenario"
+	"obm/internal/service"
+)
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write
+// while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on http://(\S+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL
+// and a stop function that cancels it and returns the exit code.
+func startDaemon(t *testing.T, args ...string) (string, *syncBuffer, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	go func() { exit <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, stderr) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			stop := func() int {
+				cancel()
+				select {
+				case code := <-exit:
+					return code
+				case <-time.After(10 * time.Second):
+					t.Fatal("daemon did not exit after cancel")
+					return -1
+				}
+			}
+			return "http://" + m[1], stderr, stop
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// submitAndWait posts req and polls until the job is terminal,
+// returning its final status.
+func submitAndWait(t *testing.T, base string, req service.Request) service.Status {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st service.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestDaemonEndToEnd is the daemon's acceptance test: serve, submit a
+// real experiment over HTTP, poll it to completion, fetch an envelope
+// byte-identical to the in-process service.Execute one, re-submit warm
+// (0 computes, same bytes), check the ancillary endpoints, and shut
+// down cleanly on context cancellation.
+func TestDaemonEndToEnd(t *testing.T) {
+	scenario.ResetShared()
+	t.Cleanup(func() { scenario.ResetShared() })
+	base, stderr, stop := startDaemon(t)
+
+	req := service.Request{Experiments: []string{"table1"}, Quick: true, Configs: []string{"C1"}}
+	cold := submitAndWait(t, base, req)
+	if cold.State != service.StateDone {
+		t.Fatalf("cold job finished %s: %s", cold.State, cold.Error)
+	}
+	if cold.Artifacts == nil || cold.Artifacts.Computed == 0 {
+		t.Fatalf("cold job artifact stats = %+v, want computes", cold.Artifacts)
+	}
+	if cold.Events == 0 {
+		t.Error("cold job journalled no progress events")
+	}
+	code, daemonEnv := getBody(t, base+"/v1/jobs/"+cold.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, daemonEnv)
+	}
+
+	// The same request through the in-process path must produce the
+	// same bytes — the one-envelope-assembly guarantee.
+	out, err := service.Execute(context.Background(), req, service.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(daemonEnv, out.Envelope) {
+		t.Errorf("daemon envelope differs from service.Execute's:\ndaemon:  %.300s\ndirect:  %.300s", daemonEnv, out.Envelope)
+	}
+
+	// Warm re-submit: every artifact served from the shared store.
+	warm := submitAndWait(t, base, req)
+	if warm.State != service.StateDone {
+		t.Fatalf("warm job finished %s: %s", warm.State, warm.Error)
+	}
+	if warm.Artifacts == nil || warm.Artifacts.Computed != 0 || warm.Artifacts.MemHits == 0 {
+		t.Errorf("warm job artifact stats = %+v, want 0 computed and memory hits", warm.Artifacts)
+	}
+	_, warmEnv := getBody(t, base+"/v1/jobs/"+warm.ID+"/result")
+	if !bytes.Equal(daemonEnv, warmEnv) {
+		t.Error("warm envelope differs from cold")
+	}
+
+	// Ancillary endpoints: the experiment listing and the Prometheus
+	// exposition with the service's job metrics.
+	code, listing := getBody(t, base+"/v1/experiments")
+	if code != http.StatusOK || !bytes.Contains(listing, []byte(`"table1"`)) {
+		t.Errorf("experiments listing: %d %.200s", code, listing)
+	}
+	code, metrics := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{"# TYPE service_jobs_completed counter", "artifact_store_computed"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	if code := stop(); code != 0 {
+		t.Fatalf("daemon exit code %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("no clean-drain note on stderr: %s", stderr.String())
+	}
+}
+
+// TestDaemonRejectsCacheOverride: per-job cache configuration is a 400
+// — the disk tier belongs to the process.
+func TestDaemonRejectsCacheOverride(t *testing.T) {
+	base, _, stop := startDaemon(t)
+	defer stop()
+	body, _ := json.Marshal(service.Request{Experiments: []string{"fig5"}, CacheDir: "/tmp/elsewhere"})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cache override accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestDaemonBadFlags: unusable configuration is a synchronous usage
+// error, exit 2, before the daemon ever serves.
+func TestDaemonBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad -addr: exit %d, want 2 (%s)", code, stderr.String())
+	}
+	if code := run(context.Background(), []string{"-badflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestDaemonDrainBudget: a daemon whose drain budget expires while a
+// job is still running exits non-zero and reports the incomplete
+// drain. A deliberately slow full-budget experiment keeps the worker
+// busy past the tiny -drain window.
+func TestDaemonDrainBudget(t *testing.T) {
+	base, stderr, stop := startDaemon(t, "-drain", "50ms")
+	body, _ := json.Marshal(service.Request{Experiments: []string{"fig11"}})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st service.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the job to actually start so the drain has something
+	// in-flight to time out on.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.State == service.StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		_, data := getBody(t, base+"/v1/jobs/"+st.ID)
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code := stop(); code != 1 {
+		t.Errorf("exit %d, want 1 when the drain budget expires: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drain incomplete") {
+		t.Errorf("no incomplete-drain note: %s", stderr.String())
+	}
+}

@@ -27,6 +27,13 @@ import (
 
 // Progress is one structured progress event for a named stage.
 type Progress struct {
+	// Seq is the event's monotonic per-job sequence number, stamped by
+	// the Sequenced sink wrapper (the Runner installs one around its
+	// Sink automatically). Numbering starts at 1 and has no gaps, so a
+	// consumer that saw event Seq=n can poll "everything after n" and
+	// resume without loss; 0 means the event never passed through a
+	// sequencer.
+	Seq uint64
 	// Stage names the unit of work, e.g. "MC(10000)", "fig9", or
 	// "replicas".
 	Stage string
@@ -40,6 +47,11 @@ type Progress struct {
 	// recomputed. Observers can count hits or render the stage as
 	// skipped; Done/Total are 1/1.
 	Skipped bool
+	// Final marks the unthrottled stage-completion event emitted by
+	// Reporter.Finish. Spacing throttles (Throttled) must never drop a
+	// Final event: it is the only event guaranteed to carry the stage's
+	// terminal Done/Total.
+	Final bool
 }
 
 // ReportSkipped emits one unthrottled Progress event marking stage as
@@ -133,6 +145,10 @@ func (r *Reporter) Report(done, total int) {
 }
 
 // Finish emits a final unthrottled event marking the stage complete.
+// The event carries Final, so downstream spacing throttles (Throttled,
+// a CLI ticker) know they must deliver it even if an ordinary Report
+// just passed: dropping it would leave consumers without the stage's
+// terminal Done/Total.
 func (r *Reporter) Finish(done, total int) {
 	if r == nil {
 		return
@@ -141,5 +157,72 @@ func (r *Reporter) Finish(done, total int) {
 	r.mu.Lock()
 	r.last = now
 	r.mu.Unlock()
-	r.sink.Event(Progress{Stage: r.stage, Done: done, Total: total, Elapsed: now.Sub(r.start)})
+	r.sink.Event(Progress{Stage: r.stage, Done: done, Total: total, Elapsed: now.Sub(r.start), Final: true})
+}
+
+// Sequenced wraps s so every event is stamped with a monotonically
+// increasing Seq (1, 2, 3, …) before being forwarded. Stamping and
+// forwarding happen under one lock, so events reach s in sequence
+// order even when several stages report concurrently — a journal that
+// appends in arrival order can serve "events after cursor n" by slice
+// position. The Runner wraps its Sink in one sequencer per batch, which
+// is what gives a job's event stream its per-job numbering.
+func Sequenced(s Sink) Sink {
+	if s == nil {
+		return nil
+	}
+	return &seqSink{sink: s}
+}
+
+type seqSink struct {
+	mu   sync.Mutex
+	n    uint64
+	sink Sink
+}
+
+func (q *seqSink) Event(p Progress) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+	p.Seq = q.n
+	q.sink.Event(p)
+}
+
+// Throttled wraps s with a global spacing filter: at most one ordinary
+// event per interval is forwarded, keeping a human-facing sink readable
+// when many stages report concurrently. Two event classes always pass
+// regardless of spacing — Skipped (cache hits are rare and are the
+// run's main observability signal) and Final (the stage-completion
+// event from Reporter.Finish, which consumers rely on seeing). A
+// non-positive interval forwards everything.
+func Throttled(s Sink, interval time.Duration) Sink {
+	if s == nil {
+		return nil
+	}
+	if interval <= 0 {
+		return s
+	}
+	return &throttledSink{sink: s, interval: interval}
+}
+
+type throttledSink struct {
+	sink     Sink
+	interval time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+func (t *throttledSink) Event(p Progress) {
+	if !p.Skipped && !p.Final {
+		now := time.Now()
+		t.mu.Lock()
+		if !t.last.IsZero() && now.Sub(t.last) < t.interval {
+			t.mu.Unlock()
+			return
+		}
+		t.last = now
+		t.mu.Unlock()
+	}
+	t.sink.Event(p)
 }

@@ -66,7 +66,11 @@ func (r Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		defer cancel()
 	}
 	if r.Sink != nil {
-		ctx = WithSink(ctx, r.Sink)
+		// One sequencer per batch: every event the batch emits — from the
+		// runner's own "batch" stage down to replica workers — carries a
+		// monotonic per-batch Seq, so a consumer holding a cursor can poll
+		// for "events after n" and resume without loss.
+		ctx = WithSink(ctx, Sequenced(r.Sink))
 	}
 	rep := StartStage(ctx, "batch")
 	results := make([]Result, 0, len(jobs))

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSequencedMonotonicUnderConcurrency hammers one sequencer from
+// many goroutines and checks the sink received a gapless 1..N sequence
+// in arrival order — the property the service journal's cursor polling
+// depends on.
+func TestSequencedMonotonicUnderConcurrency(t *testing.T) {
+	var sink recordSink
+	seq := Sequenced(&sink)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq.Event(Progress{Stage: "s", Done: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := sink.all()
+	if len(evs) != workers*per {
+		t.Fatalf("%d events, want %d", len(evs), workers*per)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d, want %d (gapless, in arrival order)", i, ev.Seq, i+1)
+		}
+	}
+}
+
+// TestSequencedNil mirrors the package's nil-sink conventions.
+func TestSequencedNil(t *testing.T) {
+	if Sequenced(nil) != nil {
+		t.Error("Sequenced(nil) should be nil")
+	}
+}
+
+// TestRunnerStampsSequence checks Runner.Run installs a sequencer, so
+// every event a batch emits carries a per-batch Seq starting at 1.
+func TestRunnerStampsSequence(t *testing.T) {
+	for round := 0; round < 2; round++ { // numbering restarts per batch
+		var sink recordSink
+		r := Runner{Sink: &sink}
+		_, err := r.Run(context.Background(), []Job{{Name: "probe", Run: func(ctx context.Context) (any, error) {
+			rep := StartStage(ctx, "inner")
+			rep.Report(1, 2)
+			rep.Finish(2, 2)
+			return nil, nil
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := sink.all()
+		if len(evs) == 0 {
+			t.Fatal("no events")
+		}
+		for i, ev := range evs {
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("round %d: event %d Seq = %d, want %d", round, i, ev.Seq, i+1)
+			}
+		}
+	}
+}
+
+// TestFinishMarksFinalAndSurvivesThrottle is the Finish-is-never-lost
+// contract: a Finish immediately after a Report must pass a spacing
+// throttle that would drop any ordinary event, because Finish events
+// carry Final.
+func TestFinishMarksFinalAndSurvivesThrottle(t *testing.T) {
+	var sink recordSink
+	// An hour-long spacing interval: after the first Report consumes the
+	// allowance, nothing ordinary can pass again within the test.
+	th := Throttled(&sink, time.Hour)
+	ctx := WithSink(context.Background(), th)
+	rep := StartStage(ctx, "stage")
+	rep.Report(1, 10) // first event always passes
+	rep.Report(5, 10) // dropped by spacing
+	rep.Finish(10, 10)
+	evs := sink.all()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events %+v, want first Report + Finish", len(evs), evs)
+	}
+	if evs[0].Final || evs[0].Done != 1 {
+		t.Errorf("first event = %+v, want ordinary Done=1", evs[0])
+	}
+	last := evs[1]
+	if !last.Final || last.Done != 10 || last.Total != 10 {
+		t.Errorf("final event = %+v, want Final with Done=Total=10", last)
+	}
+}
+
+// TestThrottledPassesSkippedAndFinal checks the two unconditional
+// classes pass a saturated throttle while ordinary events are dropped.
+func TestThrottledPassesSkippedAndFinal(t *testing.T) {
+	var sink recordSink
+	th := Throttled(&sink, time.Hour)
+	th.Event(Progress{Stage: "a", Done: 1}) // consumes the spacing allowance
+	th.Event(Progress{Stage: "b", Done: 2}) // dropped
+	th.Event(Progress{Stage: "hit", Skipped: true, Done: 1, Total: 1})
+	th.Event(Progress{Stage: "a", Done: 3, Final: true})
+	evs := sink.all()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events %+v, want 3", len(evs), evs)
+	}
+	if !evs[1].Skipped || !evs[2].Final {
+		t.Errorf("events = %+v, want skipped then final", evs)
+	}
+}
+
+// TestThrottledDegenerateIntervals: nil sink and non-positive interval
+// follow the package conventions.
+func TestThrottledDegenerateIntervals(t *testing.T) {
+	if Throttled(nil, time.Second) != nil {
+		t.Error("Throttled(nil) should be nil")
+	}
+	var sink recordSink
+	th := Throttled(&sink, 0)
+	for i := 0; i < 10; i++ {
+		th.Event(Progress{Done: i})
+	}
+	if got := len(sink.all()); got != 10 {
+		t.Errorf("zero interval dropped events: %d/10", got)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusPinnedOutput builds a registry with one metric of
+// each kind and pins the exact exposition bytes: type lines, sample
+// ordering (counters, then gauges, then histograms, each sorted by
+// name), cumulative bucket counts, the +Inf bucket, and name
+// sanitization of dotted registry names.
+func TestWritePrometheusPinnedOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("artifact.disk.hits").Add(3)
+	r.Counter("noc.flits.injected").Add(120)
+	r.Gauge("service.jobs.running").Set(2)
+	h := r.Histogram("engine.job.seconds", []float64{0.5, 1, 2})
+	h.Observe(0.25) // bucket le=0.5
+	h.Observe(0.75) // bucket le=1
+	h.Observe(1.5)  // bucket le=2
+	h.Observe(9)    // overflow (+Inf only)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE artifact_disk_hits counter
+artifact_disk_hits 3
+# TYPE noc_flits_injected counter
+noc_flits_injected 120
+# TYPE service_jobs_running gauge
+service_jobs_running 2
+# TYPE engine_job_seconds histogram
+engine_job_seconds_bucket{le="0.5"} 1
+engine_job_seconds_bucket{le="1"} 2
+engine_job_seconds_bucket{le="2"} 3
+engine_job_seconds_bucket{le="+Inf"} 4
+engine_job_seconds_sum 11.5
+engine_job_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromName pins the sanitization rules.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"artifact.mem.hits":  "artifact_mem_hits",
+		"already_fine:name":  "already_fine:name",
+		"9starts.with.digit": "_9starts_with_digit",
+		"spaces and-dashes":  "spaces_and_dashes",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusEmptySnapshot writes nothing for an empty registry.
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty snapshot produced output: %q", b.String())
+	}
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"sync"
+
+	"obm/internal/engine"
+)
+
+// Journal buffers one job's progress events for cursor-based polling.
+// It is the Sink a Manager installs per job: the engine batch runner
+// stamps every event with a monotonic per-job Seq (1, 2, 3, … — see
+// engine.Sequenced) and forwards them in sequence order, so the journal
+// appends in Seq order and can serve "everything after cursor n" by
+// slice position, losslessly, however often a consumer polls.
+//
+// The buffer is bounded only by the job's lifetime: upstream Reporter
+// throttling caps the event rate (~10/s per concurrent stage), jobs are
+// dropped whole at retention expiry, and consumers resume from any
+// cursor, so dropping events here would buy little and break the
+// no-loss contract.
+type Journal struct {
+	mu     sync.Mutex
+	events []engine.Progress
+}
+
+// Event implements engine.Sink.
+func (j *Journal) Event(p engine.Progress) {
+	j.mu.Lock()
+	j.events = append(j.events, p)
+	j.mu.Unlock()
+}
+
+// Since returns a copy of every event with Seq > cursor, plus the next
+// cursor to poll from (the Seq of the last returned event, or cursor
+// itself when nothing new arrived). Cursor 0 returns the full journal.
+func (j *Journal) Since(cursor uint64) ([]engine.Progress, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Seq is gapless from 1 and events arrive in order, so the slice
+	// index of the first event after cursor is cursor itself.
+	if cursor >= uint64(len(j.events)) {
+		return nil, cursor
+	}
+	out := append([]engine.Progress(nil), j.events[cursor:]...)
+	return out, out[len(out)-1].Seq
+}
+
+// Len returns the number of buffered events.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
