@@ -21,6 +21,8 @@ import (
 	"obm/internal/mesh"
 	"obm/internal/model"
 	"obm/internal/noc"
+	"obm/internal/obs"
+	"obm/internal/sched"
 	"obm/internal/sim"
 	"obm/internal/stats"
 	"obm/internal/workload"
@@ -756,5 +758,61 @@ func BenchmarkImproveWithBudget(b *testing.B) {
 		if _, _, err := mapping.ImproveWithBudget(context.Background(), p, base, 16); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDynamicStream times the streaming scheduler end to end on a
+// generated 20k-event churn timeline (64 tiles). Each iteration drains
+// the whole timeline; the reported dev-APL is the time-weighted
+// balance the scheme sustains. The warm row runs warm-started SSS at
+// twice the full re-solve's cadence — warm-starting cuts the
+// per-attempt cost by ~2.5x, and spending that dividend on density is
+// how it beats the full re-solve on both wall-clock and balance (the
+// dynstream experiment uses the same pairing).
+func BenchmarkDynamicStream(b *testing.B) {
+	const events = 20_000
+	obj := core.Weighted{Max: 1, Dev: 2}
+	cost := sched.CompositeCost{Objective: obj, PerMigration: 0.01}
+	schemes := []struct {
+		name     string
+		rm       sched.Remapper
+		interval int64
+	}{
+		{"place-only", nil, 0},
+		{"warm", sched.WarmRemap{SSS: mapping.SortSelectSwap{Objective: obj, MaxStep: 4, Passes: 1}}, 2_500},
+		{"full", sched.FullRemap{Mapper: mapping.SortSelectSwap{Objective: obj}}, 5_000},
+	}
+	lm := model.MustNew(mesh.MustNew(8, 8), model.DefaultParams())
+	for _, s := range schemes {
+		b.Run(s.name, func(b *testing.B) {
+			cfg := sched.StreamConfig{
+				Placement: &sched.SpiralPlacement{},
+				Registry:  obs.NewRegistry(),
+			}
+			if s.rm != nil {
+				cfg.Policy = sched.Every{Interval: s.interval}
+				cfg.Remapper = s.rm
+				cfg.Cost = cost
+			}
+			var met sched.StreamMetrics
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := sched.NewGenerator(sched.GenConfig{Events: events, Tiles: lm.NumTiles(), Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := sched.NewStreamRunner(lm, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				met, err = r.Run(context.Background(), src)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(met.TimeWeightedDevAPL, "devAPL")
+			b.ReportMetric(float64(met.Remaps), "remaps")
+		})
 	}
 }

@@ -10,7 +10,7 @@ import (
 func quickOpts() Options { return Options{Quick: true, Seed: 1} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "burst", "capacity", "congestion", "dynamic", "fig10", "fig11", "fig12", "fig3", "fig4",
+	want := []string{"ablation", "burst", "capacity", "congestion", "dynamic", "dynstream", "fig10", "fig11", "fig12", "fig3", "fig4",
 		"fig5", "fig8", "fig9", "gap", "loadsweep", "objective", "placement", "scaling", "seeds",
 		"table1", "table3", "table4", "tail", "topology", "validate"}
 	got := IDs()

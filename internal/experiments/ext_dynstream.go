@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"obm/internal/core"
+	"obm/internal/mapping"
+	"obm/internal/sched"
+)
+
+func init() { register(extDynstream{}) }
+
+// extDynstream scales the dynamic argument from the hand-built churn
+// timeline ("dynamic") to a generated stream of arrivals and
+// departures: the streaming scheduler places each arrival
+// incrementally and consults a remapping policy between event groups,
+// so schemes differ in placement heuristic, remap engine (warm-started
+// versus full re-solve), and firing policy under a shared
+// migration-cost-aware adoption test.
+type extDynstream struct{}
+
+func (extDynstream) ID() string { return "dynstream" }
+func (extDynstream) Title() string {
+	return "Extension: streaming remapping schemes on a generated churn timeline"
+}
+
+// DynstreamRow is one scheme's outcome on the shared timeline.
+type DynstreamRow struct {
+	Scheme           string
+	Events           int
+	Remaps, Rejected int
+	Migrations       int
+	MaxAPL, DevAPL   float64
+}
+
+// DynstreamResult is the scheme comparison.
+type DynstreamResult struct {
+	Events int
+	Rows   []DynstreamRow
+}
+
+// dynstreamScheme pairs a label with a fully assembled stream
+// configuration.
+type dynstreamScheme struct {
+	name string
+	cfg  sched.StreamConfig
+}
+
+// dynstreamSchemes builds the ladder of schemes: placement-only
+// baselines, then periodic remapping — warm-started SSS at a dense
+// cadence versus full re-solves at a sparse one, the configurations
+// BenchmarkDynamicStream shows cost roughly the same wall-clock — and
+// finally the adaptive dev-threshold policy, debounced so a drift
+// period cannot trigger a solve at every event group. Every remapping
+// scheme shares the same composite objective (balance-weighted, with a
+// per-thread migration charge) so adoption decisions are comparable.
+func dynstreamSchemes(interval int64) []dynstreamScheme {
+	obj := core.Weighted{Max: 1, Dev: 2}
+	cost := sched.CompositeCost{Objective: obj, PerMigration: 0.01}
+	warm := sched.WarmRemap{SSS: mapping.SortSelectSwap{Objective: obj, MaxStep: 4, Passes: 1}}
+	full := sched.FullRemap{Mapper: mapping.SortSelectSwap{Objective: obj}}
+	dense := interval / 2
+	return []dynstreamScheme{
+		{"spiral/never", sched.StreamConfig{
+			Placement: &sched.SpiralPlacement{},
+		}},
+		{"sam/never", sched.StreamConfig{
+			Placement: &sched.SAMPlacement{},
+		}},
+		{"spiral+warm/dense", sched.StreamConfig{
+			Placement: &sched.SpiralPlacement{},
+			Policy:    sched.Every{Interval: dense},
+			Remapper:  warm, Cost: cost,
+		}},
+		{"spiral+full/sparse", sched.StreamConfig{
+			Placement: &sched.SpiralPlacement{},
+			Policy:    sched.Every{Interval: interval},
+			Remapper:  full, Cost: cost,
+		}},
+		{"spiral+warm/adaptive", sched.StreamConfig{
+			Placement: &sched.SpiralPlacement{},
+			Policy:    &sched.Debounced{Inner: sched.WhenUnbalanced{Threshold: 0.35}, MinInterval: interval / 4},
+			Remapper:  warm, Cost: cost,
+		}},
+	}
+}
+
+func (e extDynstream) Run(ctx context.Context, o Options) (Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	events := 1_000_000
+	interval := int64(20_000)
+	if o.Quick {
+		events = 10_000
+		interval = 5_000
+	}
+	lm := paperModel()
+	gen := sched.GenConfig{Events: events, Tiles: lm.NumTiles(), Seed: o.Seed}
+	res := &DynstreamResult{Events: events}
+	for _, s := range dynstreamSchemes(interval) {
+		src, err := sched.NewGenerator(gen)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sched.NewStreamRunner(lm, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		met, err := r.Run(ctx, src)
+		if err != nil {
+			return nil, fmt.Errorf("dynstream scheme %s: %w", s.name, err)
+		}
+		res.Rows = append(res.Rows, DynstreamRow{
+			Scheme: s.name,
+			Events: met.Events,
+			Remaps: met.Remaps, Rejected: met.RemapsRejected,
+			Migrations: met.Migrations,
+			MaxAPL:     met.TimeWeightedMaxAPL,
+			DevAPL:     met.TimeWeightedDevAPL,
+		})
+	}
+	// Wall-clock SLO metrics (p99 remap latency, migrations per remap,
+	// time-weighted dev-APL histogram) are recorded in the obs registry
+	// (sched.remap.*, sched.stream.*), never in this result: the
+	// envelope stays deterministic.
+	return res, nil
+}
+
+func (r *DynstreamResult) table() *Table {
+	t := newTable(fmt.Sprintf("Streaming remapping schemes (%d-event generated timeline, time-weighted)", r.Events),
+		"Scheme", "events", "remaps", "rejected", "migrations", "max-APL", "dev-APL")
+	for _, row := range r.Rows {
+		t.addRow(row.Scheme,
+			fmt.Sprint(row.Events),
+			fmt.Sprint(row.Remaps),
+			fmt.Sprint(row.Rejected),
+			fmt.Sprint(row.Migrations),
+			fmt.Sprintf("%.3f", row.MaxAPL),
+			fmt.Sprintf("%.4f", row.DevAPL))
+	}
+	return t
+}
+
+func (r *DynstreamResult) doc() *Doc {
+	return newDoc().add(r.table()).
+		renderOnly(Note("\n(the streaming scheduler sustains the timeline in O(live apps) memory;\n" +
+			" warm-started SSS costs a fraction of a full re-solve per attempt, so\n" +
+			" at twice the cadence it matches or beats the sparse full re-solve's\n" +
+			" balance for less wall-clock (BenchmarkDynamicStream pins the timing);\n" +
+			" the debounced dev-threshold policy remaps only when placement drift\n" +
+			" crosses the threshold and sustains the best balance; the composite\n" +
+			" cost rejects candidates whose gain does not cover their migrations —\n" +
+			" remap latency SLOs are published via the obs registry, not here)\n"))
+}
+
+// Render implements Result.
+func (r *DynstreamResult) Render() string { return r.doc().Render() }
+
+// CSV implements Result.
+func (r *DynstreamResult) CSV() string { return r.doc().CSV() }
+
+// JSON implements Result.
+func (r *DynstreamResult) JSON() ([]byte, error) { return r.doc().JSON() }

@@ -3,7 +3,6 @@ package mapping
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"obm/internal/core"
 	"obm/internal/engine"
@@ -47,17 +46,7 @@ func ImproveWithBudgetObjective(ctx context.Context, p *core.Problem, base core.
 	}
 
 	// Sorted slot list, as in SSS step 1.
-	sorted := make([]mesh.Tile, n)
-	for i := range sorted {
-		sorted[i] = mesh.Tile(i)
-	}
-	sort.SliceStable(sorted, func(a, b int) bool {
-		ta, tb := p.TC(sorted[a]), p.TC(sorted[b])
-		if ta != tb {
-			return ta < tb
-		}
-		return sorted[a] < sorted[b]
-	})
+	sorted := sortedSlotsByTC(p)
 
 	tr := newObjectiveTracker(p, m, obj)
 	inv := m.InverseOn(n)

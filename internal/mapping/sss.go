@@ -154,19 +154,8 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 		rng = stats.NewRand(s.Seed)
 	}
 
-	// Step 1: sort slots ascending by TC. Ties (mesh symmetry, and all
-	// slots of one tile) are broken by index for determinism.
-	sorted := make([]mesh.Tile, n)
-	for i := range sorted {
-		sorted[i] = mesh.Tile(i)
-	}
-	sort.SliceStable(sorted, func(a, b int) bool {
-		ta, tb := p.TC(sorted[a]), p.TC(sorted[b])
-		if ta != tb {
-			return ta < tb
-		}
-		return sorted[a] < sorted[b]
-	})
+	// Step 1: sort slots ascending by TC.
+	sorted := sortedSlotsByTC(p)
 
 	// Step 2: select tiles per application from the shrinking list and
 	// SAM-assign them. The SAM solver and the section-select scratch are
@@ -228,6 +217,26 @@ func (s SortSelectSwap) Map(ctx context.Context, p *core.Problem) (core.Mapping,
 		}
 	}
 	return m, nil
+}
+
+// sortedSlotsByTC returns every slot of the problem sorted ascending by
+// TC — the tile order of SSS step 1, shared by the swap phase, the
+// budgeted refiner, and warm starts. Ties (mesh symmetry, and all slots
+// of one tile) are broken by index for determinism.
+func sortedSlotsByTC(p *core.Problem) []mesh.Tile {
+	n := p.N()
+	sorted := make([]mesh.Tile, n)
+	for i := range sorted {
+		sorted[i] = mesh.Tile(i)
+	}
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ta, tb := p.TC(sorted[a]), p.TC(sorted[b])
+		if ta != tb {
+			return ta < tb
+		}
+		return sorted[a] < sorted[b]
+	})
+	return sorted
 }
 
 // selectScratch holds the reusable buffers of selectFromSections. The

@@ -1,0 +1,151 @@
+package mapping
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"obm/internal/core"
+	"obm/internal/stats"
+)
+
+// warmObjectives spans the objective shapes the never-worse guarantee
+// must hold under, including spread-sensitive ones where the SAM polish
+// alone could regress.
+func warmObjectives() []core.Objective {
+	return []core.Objective{
+		nil, // max-APL default
+		core.DevAPL{},
+		core.Weighted{Max: 1, Dev: 2},
+		core.GAPL{},
+	}
+}
+
+// TestWarmStartNeverWorse: for random instances, random incumbents, and
+// every objective shape, the warm-started result never scores worse
+// than the incumbent under the active objective.
+func TestWarmStartNeverWorse(t *testing.T) {
+	objs := warmObjectives()
+	f := func(seed uint64, objBits uint8) bool {
+		p := randomProblem(seed)
+		obj := objs[int(objBits)%len(objs)]
+		base := core.RandomMapping(p.N(), stats.NewRand(seed+1))
+		s := SortSelectSwap{Objective: obj, Passes: 2}
+		m, err := s.WarmStart(context.Background(), p, base)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := m.Validate(p.N()); err != nil {
+			t.Logf("seed %d: invalid result: %v", seed, err)
+			return false
+		}
+		sc := p.Scorer(obj)
+		got, inc := sc.Score(m), sc.Score(base)
+		if got > inc {
+			t.Logf("seed %d obj %s: warm %.9f worse than incumbent %.9f", seed, objName(obj), got, inc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWarmStartDeterministicPerSeed pins warm-start determinism: the
+// same incumbent and configuration always produce the identical
+// mapping, and the golden fingerprints below pin the exact result so a
+// behavioural change cannot slip through as an "equivalent" solution.
+func TestWarmStartDeterministicPerSeed(t *testing.T) {
+	golden := map[uint64]string{
+		3:  "b1e06dac46aa1e59",
+		17: "04eb82e556bbacb9",
+		42: "92fde9be76e13906",
+	}
+	for seed, want := range golden {
+		p := randomProblem(seed)
+		base := core.RandomMapping(p.N(), stats.NewRand(seed))
+		s := SortSelectSwap{Objective: core.Weighted{Max: 1, Dev: 2}, MaxStep: 4, Passes: 3}
+		a, err := s.WarmStart(context.Background(), p, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.WarmStart(context.Background(), p, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpA, fpB := mappingFingerprint(a), mappingFingerprint(b)
+		if fpA != fpB {
+			t.Errorf("seed %d: warm start not deterministic: %s vs %s", seed, fpA, fpB)
+		}
+		if fpA != want {
+			t.Errorf("seed %d: fingerprint %s, want golden %s (mapping %v)", seed, fpA, want, a)
+		}
+	}
+}
+
+// TestWarmStartDoesNotMutateIncumbent: the incumbent mapping must come
+// back byte-identical — a streaming scheduler keeps using it while the
+// candidate is evaluated.
+func TestWarmStartDoesNotMutateIncumbent(t *testing.T) {
+	p := randomProblem(7)
+	base := core.RandomMapping(p.N(), stats.NewRand(7))
+	snap := base.Clone()
+	if _, err := (SortSelectSwap{}).WarmStart(context.Background(), p, base); err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != snap[i] {
+			t.Fatalf("incumbent mutated at thread %d: %v -> %v", i, snap[i], base[i])
+		}
+	}
+}
+
+// TestWarmStartRejectsInvalidBase: a base that is not a permutation of
+// the problem's tiles is a caller bug, reported not repaired.
+func TestWarmStartRejectsInvalidBase(t *testing.T) {
+	p := randomProblem(1)
+	bad := make(core.Mapping, p.N())
+	for i := range bad {
+		bad[i] = 0 // all threads on tile 0
+	}
+	if _, err := (SortSelectSwap{}).WarmStart(context.Background(), p, bad); err == nil {
+		t.Error("invalid base accepted")
+	}
+	if _, err := (SortSelectSwap{WindowSize: 9}).WarmStart(context.Background(), p, core.IdentityMapping(p.N())); err == nil {
+		t.Error("bad window accepted")
+	}
+}
+
+// TestWarmStartImprovesRandomIncumbent: from a random incumbent on a
+// structured instance, warm starting should actually find improvements
+// (not just not-regress).
+func TestWarmStartImprovesRandomIncumbent(t *testing.T) {
+	p := paperProblem(t, "C7")
+	base := core.RandomMapping(p.N(), stats.NewRand(11))
+	s := SortSelectSwap{Passes: 3}
+	m, err := s.WarmStart(context.Background(), p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, inc := p.MaxAPL(m), p.MaxAPL(base); got >= inc {
+		t.Errorf("warm start did not improve a random incumbent: %.4f >= %.4f", got, inc)
+	}
+}
+
+// mappingFingerprint renders a mapping as a short stable hex digest
+// (FNV-1a over the tile sequence).
+func mappingFingerprint(m core.Mapping) string {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, t := range m {
+		h ^= uint64(t)
+		h *= prime
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -105,6 +105,26 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records a sample with an integer weight n — equivalent to n
+// calls of Observe(v) in one shot. Weighted observations let callers
+// fold time-weighted series into a histogram (observe the level, weight
+// by the interval length) without a loop; n == 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

@@ -88,6 +88,38 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveN: a weighted observation is equivalent to n
+// repeated Observe calls — same buckets, count, and sum.
+func TestHistogramObserveN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w", []float64{1, 2, 4})
+	h.ObserveN(0.5, 3)
+	h.ObserveN(3, 2)
+	h.ObserveN(100, 1)
+	h.ObserveN(42, 0) // no-op
+
+	ref := r.Histogram("ref", []float64{1, 2, 4})
+	for i := 0; i < 3; i++ {
+		ref.Observe(0.5)
+	}
+	ref.Observe(3)
+	ref.Observe(3)
+	ref.Observe(100)
+
+	snap := r.Snapshot()
+	got, _ := snap.Histogram("w")
+	want, _ := snap.Histogram("ref")
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Errorf("bucket counts = %v, want %v", got.Counts, want.Counts)
+	}
+	if got.Count != want.Count {
+		t.Errorf("count = %d, want %d", got.Count, want.Count)
+	}
+	if got.Sum != want.Sum {
+		t.Errorf("sum = %v, want %v", got.Sum, want.Sum)
+	}
+}
+
 func TestTimerRecordsSeconds(t *testing.T) {
 	r := NewRegistry()
 	tm := r.Timer("work.seconds")

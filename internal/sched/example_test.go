@@ -40,7 +40,9 @@ func ExampleRunner_Run() {
 	}
 	fmt.Println("remaps:", met.Remaps)
 	fmt.Println("balanced:", met.TimeWeightedDevAPL < 0.5)
+	// The two Time-0 arrivals coalesce into one remap, as do the
+	// simultaneous departure+arrival at Time 100.
 	// Output:
-	// remaps: 4
+	// remaps: 2
 	// balanced: true
 }

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"testing"
+
+	"obm/internal/mesh"
+	"obm/internal/workload"
+)
+
+func TestFreeSet(t *testing.T) {
+	f := NewFreeSet(4)
+	if f.Count() != 4 {
+		t.Fatalf("new set count = %d, want 4", f.Count())
+	}
+	f.Take(2)
+	f.Take(2) // idempotent
+	if f.Count() != 3 || f.Free(2) {
+		t.Errorf("after take: count %d, free(2) %v", f.Count(), f.Free(2))
+	}
+	f.Release(2)
+	f.Release(2)
+	if f.Count() != 4 || !f.Free(2) {
+		t.Errorf("after release: count %d, free(2) %v", f.Count(), f.Free(2))
+	}
+}
+
+func placementApp(n int) *workload.Application {
+	app := &workload.Application{Name: "p"}
+	for i := 0; i < n; i++ {
+		app.Threads = append(app.Threads, workload.Thread{
+			CacheRate: float64(n - i), // thread 0 heaviest
+			MemRate:   0.2 * float64(n-i),
+		})
+	}
+	return app
+}
+
+func TestPlacementsReturnDistinctFreeTiles(t *testing.T) {
+	lm := testModel(t)
+	for _, pl := range []Placement{&SpiralPlacement{}, &SAMPlacement{}} {
+		fs := NewFreeSet(lm.NumTiles())
+		// Occupy a stripe so the placement must route around it.
+		for tile := 8; tile < 24; tile++ {
+			fs.Take(mesh.Tile(tile))
+		}
+		app := placementApp(12)
+		tiles, err := pl.Place(lm, app, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		if len(tiles) != 12 {
+			t.Fatalf("%s: placed %d tiles, want 12", pl.Name(), len(tiles))
+		}
+		seen := map[mesh.Tile]bool{}
+		for _, tile := range tiles {
+			if seen[tile] {
+				t.Fatalf("%s: tile %d assigned twice", pl.Name(), tile)
+			}
+			seen[tile] = true
+			if !fs.Free(tile) {
+				t.Fatalf("%s: tile %d was not free", pl.Name(), tile)
+			}
+		}
+		if fs.Count() != lm.NumTiles()-16 {
+			t.Errorf("%s: Place mutated the free set", pl.Name())
+		}
+	}
+}
+
+func TestPlacementsDeterministic(t *testing.T) {
+	lm := testModel(t)
+	for _, mk := range []func() Placement{
+		func() Placement { return &SpiralPlacement{} },
+		func() Placement { return &SAMPlacement{} },
+	} {
+		fs := NewFreeSet(lm.NumTiles())
+		app := placementApp(9)
+		a, err := mk().Place(lm, app, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk().Place(lm, app, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at thread %d: %d vs %d", mk().Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSpiralHeaviestThreadGetsBestTile: the heaviest thread lands on
+// the lowest-TC tile of the collected set.
+func TestSpiralHeaviestThreadGetsBestTile(t *testing.T) {
+	lm := testModel(t)
+	fs := NewFreeSet(lm.NumTiles())
+	app := placementApp(6)
+	tiles, err := (&SpiralPlacement{}).Place(lm, app, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tiles); i++ {
+		if lm.TC(tiles[0]) > lm.TC(tiles[i]) {
+			t.Fatalf("heaviest thread on TC %.3f but thread %d got %.3f",
+				lm.TC(tiles[0]), i, lm.TC(tiles[i]))
+		}
+	}
+}
+
+// TestSpiralStaysNearSeed: with a free chip, the collected tiles sit
+// within the smallest rings around the min-TC seed — the nearest-
+// neighbor property that makes spiral placement cheap to reason about.
+func TestSpiralStaysNearSeed(t *testing.T) {
+	lm := testModel(t)
+	msh := lm.Mesh()
+	fs := NewFreeSet(lm.NumTiles())
+	app := placementApp(5)
+	tiles, err := (&SpiralPlacement{}).Place(lm, app, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed = global min-TC tile on an empty chip.
+	seed := mesh.Tile(0)
+	for tt := 1; tt < lm.NumTiles(); tt++ {
+		if lm.TC(mesh.Tile(tt)) < lm.TC(seed) {
+			seed = mesh.Tile(tt)
+		}
+	}
+	for _, tile := range tiles {
+		if msh.Hops(seed, tile) > 2 {
+			t.Errorf("tile %d is %d hops from seed %d; want a tight cluster", tile, msh.Hops(seed, tile), seed)
+		}
+	}
+}
+
+// TestSAMBeatsSpiralOnItsCost: the Hungarian placement never pays more
+// total assignment cost than the spiral greedy for the same arrival on
+// the same chip state.
+func TestSAMBeatsSpiralOnItsCost(t *testing.T) {
+	lm := testModel(t)
+	app := placementApp(10)
+	cost := func(tiles []mesh.Tile) float64 {
+		var sum float64
+		for i, th := range app.Threads {
+			sum += lm.Cost(th.CacheRate, th.MemRate, tiles[i])
+		}
+		return sum
+	}
+	fs := NewFreeSet(lm.NumTiles())
+	spiral, err := (&SpiralPlacement{}).Place(lm, app, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sam, err := (&SAMPlacement{}).Place(lm, app, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost(sam) > cost(spiral)+1e-9 {
+		t.Errorf("SAM placement cost %.4f exceeds spiral %.4f", cost(sam), cost(spiral))
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	lm := testModel(t)
+	for _, pl := range []Placement{&SpiralPlacement{}, &SAMPlacement{}} {
+		fs := NewFreeSet(lm.NumTiles())
+		for tile := 0; tile < lm.NumTiles()-2; tile++ {
+			fs.Take(mesh.Tile(tile))
+		}
+		if _, err := pl.Place(lm, placementApp(3), fs); err == nil {
+			t.Errorf("%s: accepted app larger than free capacity", pl.Name())
+		}
+		if _, err := pl.Place(lm, &workload.Application{Name: "empty"}, fs); err == nil {
+			t.Errorf("%s: accepted empty application", pl.Name())
+		}
+	}
+}

@@ -9,6 +9,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,11 @@ import (
 	"obm/internal/model"
 	"obm/internal/workload"
 )
+
+// ErrNoEvents marks a scenario whose timeline is empty. Callers that
+// synthesize timelines can match it with errors.Is and treat the run as
+// a well-defined no-op instead of a failure.
+var ErrNoEvents = errors.New("sched: scenario has no events")
 
 // Event is one change to the running application set.
 type Event struct {
@@ -42,7 +48,7 @@ type Scenario struct {
 // Validate reports an error for unordered or inconsistent scenarios.
 func (s Scenario) Validate() error {
 	if len(s.Events) == 0 {
-		return fmt.Errorf("sched: scenario has no events")
+		return ErrNoEvents
 	}
 	live := map[string]bool{}
 	var prev int64
@@ -139,6 +145,42 @@ type MeasuredPolicy interface {
 	// RemapMeasured reports whether to re-solve given the dev-APL of the
 	// live mapping after the event was applied.
 	RemapMeasured(devAPL float64) bool
+}
+
+// Debounced rate-limits an inner policy: it never fires less than
+// MinInterval time units after the previous remap, whatever the inner
+// policy says. Its main use is capping the attempt rate of
+// WhenUnbalanced on long timelines, where a drift period would
+// otherwise trigger a solve at every event group. Stateful (it latches
+// the since-last-remap gap the runner reports), so one value serves
+// one run.
+type Debounced struct {
+	// Inner is the wrapped policy (commonly a MeasuredPolicy).
+	Inner Policy
+	// MinInterval is the minimum gap between remap attempts.
+	MinInterval int64
+
+	since int64
+}
+
+// Name implements Policy.
+func (d *Debounced) Name() string {
+	return fmt.Sprintf("%s/min%d", d.Inner.Name(), d.MinInterval)
+}
+
+// Remap implements Policy: it latches the reported gap for
+// RemapMeasured (which the runners call without time context) and
+// defers to the inner policy only once the gap clears MinInterval.
+func (d *Debounced) Remap(now int64, since int64) bool {
+	d.since = since
+	return since >= d.MinInterval && d.Inner.Remap(now, since)
+}
+
+// RemapMeasured implements MeasuredPolicy, honoring the debounce gap
+// latched by the preceding Remap call.
+func (d *Debounced) RemapMeasured(devAPL float64) bool {
+	mp, ok := d.Inner.(MeasuredPolicy)
+	return ok && d.since >= d.MinInterval && mp.RemapMeasured(devAPL)
 }
 
 // Metrics aggregates a run.
@@ -253,44 +295,57 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (Metrics, error) {
 		return nil
 	}
 
-	for ei, e := range sc.Events {
-		if err := ctx.Err(); err != nil {
-			return Metrics{}, fmt.Errorf("sched: interrupted at event %d/%d: %w", ei, len(sc.Events), err)
+	// Events sharing a timestamp are one logical change to the system
+	// (e.g. a departure immediately backfilled by an arrival), so they
+	// are coalesced: every event in the group is applied, then the
+	// policy is consulted once. Per-event policy checks would re-solve
+	// the same instant repeatedly, inflating Remaps and Migrations.
+	for gi := 0; gi < len(sc.Events); {
+		ge := gi + 1
+		for ge < len(sc.Events) && sc.Events[ge].Time == sc.Events[gi].Time {
+			ge++
 		}
-		if err := measure(e.Time); err != nil {
+		now := sc.Events[gi].Time
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, fmt.Errorf("sched: interrupted at event %d/%d: %w", gi, len(sc.Events), err)
+		}
+		if err := measure(now); err != nil {
 			return Metrics{}, err
 		}
-		prevTime = e.Time
-		// Apply the event.
-		if e.Arrive != nil {
-			app := *e.Arrive
-			if len(app.Threads) > len(st.free) {
-				return Metrics{}, fmt.Errorf("sched: t=%d: %q needs %d tiles, %d free",
-					e.Time, app.Name, len(app.Threads), len(st.free))
-			}
-			st.apps[app.Name] = &app
-			st.order = append(st.order, app.Name)
-			sort.Strings(st.order)
-			// Incremental placement: SAM over the free tiles.
-			if err := st.placeIncremental(r.lm, app.Name); err != nil {
-				return Metrics{}, err
-			}
-		} else {
-			for _, t := range st.tiles[e.Depart] {
-				st.free[t] = true
-			}
-			delete(st.tiles, e.Depart)
-			delete(st.apps, e.Depart)
-			for i, n := range st.order {
-				if n == e.Depart {
-					st.order = append(st.order[:i], st.order[i+1:]...)
-					break
+		prevTime = now
+		// Apply every event in the group.
+		for _, e := range sc.Events[gi:ge] {
+			if e.Arrive != nil {
+				app := *e.Arrive
+				if len(app.Threads) > len(st.free) {
+					return Metrics{}, fmt.Errorf("sched: t=%d: %q needs %d tiles, %d free",
+						e.Time, app.Name, len(app.Threads), len(st.free))
+				}
+				st.apps[app.Name] = &app
+				st.order = append(st.order, app.Name)
+				sort.Strings(st.order)
+				// Incremental placement: SAM over the free tiles.
+				if err := st.placeIncremental(r.lm, app.Name); err != nil {
+					return Metrics{}, err
+				}
+			} else {
+				for _, t := range st.tiles[e.Depart] {
+					st.free[t] = true
+				}
+				delete(st.tiles, e.Depart)
+				delete(st.apps, e.Depart)
+				for i, n := range st.order {
+					if n == e.Depart {
+						st.order = append(st.order[:i], st.order[i+1:]...)
+						break
+					}
 				}
 			}
 		}
-		// Policy: full re-solve?
+		gi = ge
+		// Policy: full re-solve once for the whole group?
 		if len(st.order) > 0 {
-			fire := r.policy.Remap(e.Time, e.Time-lastRemap)
+			fire := r.policy.Remap(now, now-lastRemap)
 			if mp, ok := r.policy.(MeasuredPolicy); ok && !fire {
 				p, m, err := st.problem(r.lm)
 				if err != nil {
@@ -311,7 +366,7 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (Metrics, error) {
 				}
 				met.Remaps++
 				met.Migrations += migs
-				lastRemap = e.Time
+				lastRemap = now
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"context"
+	"errors"
+	"math"
 	"testing"
 
 	"obm/internal/mapping"
@@ -58,6 +60,111 @@ func TestScenarioValidate(t *testing.T) {
 		if err := sc.Validate(); err == nil {
 			t.Errorf("bad scenario %d accepted", i)
 		}
+	}
+}
+
+// TestCoalesceSimultaneousEvents: events sharing a timestamp trigger at
+// most one re-solve, not one per event.
+func TestCoalesceSimultaneousEvents(t *testing.T) {
+	lm := testModel(t)
+	r, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := r.Run(context.Background(), fourPhaseScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fourPhaseScenario has 8 events at 6 distinct timestamps (two pairs
+	// coincide), so on-change must fire exactly 6 times.
+	if met.Remaps != 6 {
+		t.Errorf("remaps = %d, want 6 (one per distinct timestamp)", met.Remaps)
+	}
+}
+
+// TestDegenerateTimelines: zero-length spans and empty timelines must
+// yield typed errors or well-defined zeros — never NaN/Inf metrics.
+func TestDegenerateTimelines(t *testing.T) {
+	lm := testModel(t)
+	cases := []struct {
+		name    string
+		sc      Scenario
+		wantErr error // nil: expect success with finite metrics
+	}{
+		{
+			name:    "empty event list",
+			sc:      Scenario{},
+			wantErr: ErrNoEvents,
+		},
+		{
+			name:    "empty with end",
+			sc:      Scenario{End: 100},
+			wantErr: ErrNoEvents,
+		},
+		{
+			name: "end equals only event time",
+			sc: Scenario{
+				Events: []Event{{Time: 0, Arrive: appFrom("C1", 0, "a")}},
+				End:    0,
+			},
+		},
+		{
+			name: "end equals last event time",
+			sc: Scenario{
+				Events: []Event{
+					{Time: 0, Arrive: appFrom("C1", 0, "a")},
+					{Time: 50, Arrive: appFrom("C1", 1, "b")},
+				},
+				End: 50,
+			},
+		},
+		{
+			name: "all events simultaneous, zero span",
+			sc: Scenario{
+				Events: []Event{
+					{Time: 7, Arrive: appFrom("C1", 0, "a")},
+					{Time: 7, Arrive: appFrom("C1", 1, "b")},
+					{Time: 7, Depart: "a"},
+				},
+				End: 7,
+			},
+		},
+		{
+			name: "everything departs before end",
+			sc: Scenario{
+				Events: []Event{
+					{Time: 0, Arrive: appFrom("C1", 0, "a")},
+					{Time: 10, Depart: "a"},
+				},
+				End: 100,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewRunner(lm, mapping.SortSelectSwap{}, OnChange{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			met, err := r.Run(context.Background(), tc.sc)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []float64{met.TimeWeightedMaxAPL, met.TimeWeightedDevAPL} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite time-weighted metric in %+v", met)
+				}
+			}
+			if met.Intervals == 0 && (met.TimeWeightedMaxAPL != 0 || met.TimeWeightedDevAPL != 0) {
+				t.Errorf("zero intervals but nonzero time-weighted metrics: %+v", met)
+			}
+		})
 	}
 }
 
@@ -295,5 +402,37 @@ func TestMigrationBudget(t *testing.T) {
 	}
 	if met.Migrations >= fm.Migrations {
 		t.Errorf("budgeted migrations %d not below full remap %d", met.Migrations, fm.Migrations)
+	}
+}
+
+func TestDebouncedPolicy(t *testing.T) {
+	d := &Debounced{Inner: OnChange{}, MinInterval: 100}
+	if d.Remap(0, 50) {
+		t.Error("fired inside the debounce window")
+	}
+	if !d.Remap(0, 100) {
+		t.Error("did not fire once the gap cleared MinInterval")
+	}
+	m := &Debounced{Inner: WhenUnbalanced{Threshold: 0.5}, MinInterval: 100}
+	if m.Remap(0, 500) {
+		t.Error("WhenUnbalanced fired without a measurement")
+	}
+	if !m.RemapMeasured(0.9) {
+		t.Error("measured fire suppressed despite cleared gap")
+	}
+	m.Remap(0, 10) // latch a gap inside the window
+	if m.RemapMeasured(0.9) {
+		t.Error("measured fire inside the debounce window")
+	}
+	if m.RemapMeasured(0.1) {
+		t.Error("fired below the inner threshold")
+	}
+	np := &Debounced{Inner: Never{}, MinInterval: 1}
+	np.Remap(0, 50)
+	if np.RemapMeasured(9) {
+		t.Error("non-measured inner policy fired on measurement")
+	}
+	if got := m.Name(); got != "dev>0.50/min100" {
+		t.Errorf("Name = %q", got)
 	}
 }
