@@ -21,7 +21,7 @@ bench:
 BENCH_COUNT ?= 3
 NOC_BENCH = 'NoC|Fig8|Fig9|Worklist'
 NOC_BENCH_PKGS = . ./internal/noc
-MAPPING_BENCH = '^BenchmarkSSSMap$$|^BenchmarkAnnealingMap$$|^BenchmarkMonteCarlo$$|^BenchmarkEvaluateBatch$$|^BenchmarkDynamicStream$$'
+MAPPING_BENCH = '^BenchmarkSSSMap$$|^BenchmarkAnnealingMap$$|^BenchmarkMonteCarlo$$|^BenchmarkEvaluateBatch$$|^BenchmarkDynamicStream$$|^BenchmarkNSGAII$$'
 bench-json:
 	go test -run '^$$' -bench $(NOC_BENCH) -benchmem -count=$(BENCH_COUNT) $(NOC_BENCH_PKGS) | go run ./cmd/benchjson -out BENCH_noc.json
 	go test -run '^$$' -bench $(MAPPING_BENCH) -benchmem -count=$(BENCH_COUNT) . | go run ./cmd/benchjson -out BENCH_mapping.json
@@ -40,7 +40,7 @@ bench-diff:
 # the artifact store, the scenario cache, the job service, and both
 # frontends are exercised by dedicated hammer/lifecycle tests).
 check: vet staticcheck build test
-	go test -race ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/noc/... ./internal/sim/... ./internal/obs/... ./internal/scenario/... ./internal/sched/... ./internal/artifact/... ./internal/service/... ./cmd/obmsim/... ./cmd/obmsimd/...
+	go test -race ./internal/core/... ./internal/engine/... ./internal/experiments/... ./internal/mapping/... ./internal/noc/... ./internal/sim/... ./internal/obs/... ./internal/scenario/... ./internal/sched/... ./internal/artifact/... ./internal/service/... ./cmd/obmsim/... ./cmd/obmsimd/...
 
 # staticcheck is optional locally (CI installs it); skip with a note
 # rather than failing on machines that don't have it.

@@ -816,3 +816,28 @@ func BenchmarkDynamicStream(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkNSGAII times one multi-objective NSGA-II solve over
+// {max-APL, dev-APL, energy} at the quick Pareto budget (population 24,
+// 20 generations on the 64-tile C1 instance) and reports the front
+// size. The solver is strictly sequential — there is no Workers knob —
+// so this is also the per-configuration cost the pareto experiment
+// pays per cache miss.
+func BenchmarkNSGAII(b *testing.B) {
+	p := paperProblem(b, "C1")
+	m := mapping.NSGAII{Population: 24, Generations: 20, Seed: 1}
+	var set core.ParetoSet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := mapping.MapSetAndCheck(context.Background(), m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set = s
+	}
+	b.ReportMetric(float64(set.Len()), "front-size")
+}
+
+// BenchmarkExtPareto regenerates the NSGA-II Pareto-front study.
+func BenchmarkExtPareto(b *testing.B) { benchExt(b, "pareto") }

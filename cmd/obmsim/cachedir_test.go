@@ -66,8 +66,8 @@ func TestCacheDirColdWarm(t *testing.T) {
 	if cold.Cache.Dir != cache || cold.Cache.SizeBytes != 256<<20 || cold.Options.CacheDir != cache {
 		t.Errorf("disk tier not recorded in envelope: %+v", cold.Cache)
 	}
-	if cold.Cache.Schema != 1 {
-		t.Errorf("artifact schema = %d, want 1", cold.Cache.Schema)
+	if cold.Cache.Schema != artifact.SchemaVersion {
+		t.Errorf("artifact schema = %d, want %d", cold.Cache.Schema, artifact.SchemaVersion)
 	}
 	if coldStats.Computed == 0 || coldStats.DiskHits != 0 {
 		t.Fatalf("cold run stats = %+v, want computes and no disk hits", coldStats)

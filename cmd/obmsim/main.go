@@ -109,6 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "worker goroutines for the parallel mappers and the NoC step engine: 0 serial (default), -1 all cores; simulator statistics are identical for any value")
 		cacheDir   = fs.String("cachedir", "", "directory for the persistent mapper-artifact cache shared across runs (empty: in-memory only); artifacts are content-addressed, so any run may share a directory")
 		cacheSize  = fs.Int64("cachesize", 0, "byte budget for -cachedir (least-recently-used artifacts are evicted; 0: the 256 MiB default, < 0: unbounded)")
+		stream     = fs.String("stream", "", "dynstream timeline generator overrides, comma-separated key=value (load, gap, minthreads, maxthreads, appsigma, threadsigma); e.g. load=0.8,maxthreads=24")
 		csvPath    = fs.String("csv", "", "also write CSV output to this file")
 		svgDir     = fs.String("svgdir", "", "write SVG figures for experiments that support them into this directory")
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole run; completed experiments are kept on expiry")
@@ -173,6 +174,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers:   *workers,
 		CacheDir:  *cacheDir,
 		CacheSize: *cacheSize,
+		Stream:    *stream,
 	}
 	if *configs != "" {
 		req.Configs = strings.Split(*configs, ",")

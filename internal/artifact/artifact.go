@@ -33,7 +33,11 @@ import (
 // invalidates every stored artifact (old files decode with ErrSchema
 // and age out of the disk tier via eviction); it participates in every
 // WorkUnit key so two schema generations never collide.
-const SchemaVersion = 1
+//
+// v2 made artifacts set-valued: after the point-valued fields, the
+// frame carries N (mapping, cost vector) Pareto-set members. Scalar
+// mapper artifacts simply store an empty set.
+const SchemaVersion = 2
 
 // WorkUnit canonically describes one deterministic mapper invocation:
 // the content fingerprint of the problem instance, of the mapper
@@ -80,17 +84,51 @@ func (w WorkUnit) Key() string {
 	return fmt.Sprintf("wu%d|%s|%s|%s", w.schemaOrDefault(), w.Problem, w.Mapper, w.Objective)
 }
 
+// SetMember is one Pareto-set member of a set-valued artifact: a
+// mapping with its cost vector under the work unit's vector objective
+// (component order fixed by the objective fingerprint in the key).
+type SetMember struct {
+	// Mapping is one validated permutation of the front.
+	Mapping core.Mapping
+	// Vector is the member's cost vector (lower is better everywhere).
+	Vector []float64
+}
+
+// Clone returns an independent deep copy.
+func (m SetMember) Clone() SetMember {
+	return SetMember{
+		Mapping: m.Mapping.Clone(),
+		Vector:  append([]float64(nil), m.Vector...),
+	}
+}
+
 // Artifact is one memoized mapper invocation's result: the validated
-// mapping and its full evaluation on the problem it was computed for.
+// mapping and its full evaluation on the problem it was computed for,
+// plus — for set-valued (multi-objective) invocations — the Pareto
+// front in canonical order. Scalar invocations leave Set empty; a
+// set-valued invocation stores its representative (first canonical)
+// member in Mapping/Eval so every point-valued consumer keeps working
+// unchanged.
 type Artifact struct {
-	// Mapping is the mapper's validated permutation.
+	// Mapping is the mapper's validated permutation (the canonical
+	// representative for set-valued artifacts).
 	Mapping core.Mapping
 	// Eval is Problem.Evaluate of that mapping.
 	Eval core.Evaluation
+	// Set is the Pareto front of a set-valued invocation, in the
+	// canonical order of core.ParetoSet; empty for scalar artifacts.
+	Set []SetMember
 }
 
 // Clone returns an independent deep copy, so callers handed a cached
 // artifact can never corrupt the stored one.
 func (a Artifact) Clone() Artifact {
-	return Artifact{Mapping: a.Mapping.Clone(), Eval: a.Eval.Clone()}
+	out := Artifact{Mapping: a.Mapping.Clone(), Eval: a.Eval.Clone()}
+	if len(a.Set) > 0 {
+		out.Set = make([]SetMember, len(a.Set))
+		for i, m := range a.Set {
+			out.Set[i] = m.Clone()
+		}
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -24,6 +25,7 @@ var (
 	mDiskMisses    = obs.Default().Counter("artifact.disk.misses")
 	mDiskEvictions = obs.Default().Counter("artifact.disk.evictions")
 	mDiskCorrupt   = obs.Default().Counter("artifact.disk.corrupt")
+	mDiskSchema    = obs.Default().Counter("artifact.disk.schema_mismatch")
 	mDiskWriteErrs = obs.Default().Counter("artifact.disk.write_errors")
 	mDiskBytes     = obs.Default().Gauge("artifact.disk.bytes")
 	mDiskEntries   = obs.Default().Gauge("artifact.disk.entries")
@@ -52,7 +54,7 @@ type DiskTier struct {
 	lru   *list.List               // front = most recently used *dentry
 	total int64
 
-	evictions, corrupt uint64 // per-tier counters for Stats
+	evictions, corrupt, schemaMismatch uint64 // per-tier counters for Stats
 }
 
 // dentry is one resident artifact file.
@@ -189,13 +191,24 @@ func (d *DiskTier) touch(key, path string, size int64) {
 }
 
 // discard drops a corrupt, foreign, or stale-schema file so the slot
-// recomputes cleanly.
+// recomputes cleanly. Schema mismatches (a *SchemaError naming the
+// found and supported versions — the expected state of a cache dir
+// shared across a schema bump) are counted apart from corruption, so
+// operators can tell an upgrade aging out from bit rot.
 func (d *DiskTier) discard(path, key string, cause error) {
-	_ = cause // classified by the caller's counters; kept for debuggability
-	mDiskCorrupt.Inc()
+	schema := errors.Is(cause, ErrSchema)
+	if schema {
+		mDiskSchema.Inc()
+	} else {
+		mDiskCorrupt.Inc()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.corrupt++
+	if schema {
+		d.schemaMismatch++
+	} else {
+		d.corrupt++
+	}
 	for _, k := range []string{key, path} {
 		if el, ok := d.byKey[k]; ok {
 			d.removeLocked(el)
@@ -295,11 +308,12 @@ func (d *DiskTier) Bytes() int64 {
 	return d.total
 }
 
-// counters returns the tier-local eviction and corruption counts.
-func (d *DiskTier) counters() (evictions, corrupt uint64) {
+// counters returns the tier-local eviction, corruption, and
+// schema-mismatch counts.
+func (d *DiskTier) counters() (evictions, corrupt, schemaMismatch uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.evictions, d.corrupt
+	return d.evictions, d.corrupt, d.schemaMismatch
 }
 
 // WriteFileAtomic writes data to path via a temp file in the same

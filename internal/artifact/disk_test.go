@@ -66,7 +66,7 @@ func TestDiskTruncatedFileRecovers(t *testing.T) {
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Errorf("truncated file not discarded: %v", err)
 	}
-	if _, corrupt := d.counters(); corrupt != 1 {
+	if _, corrupt, _ := d.counters(); corrupt != 1 {
 		t.Errorf("corrupt counter = %d, want 1", corrupt)
 	}
 	// The slot is reusable: a fresh Put serves again.
@@ -98,8 +98,19 @@ func TestDiskWrongSchemaRecovers(t *testing.T) {
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Errorf("foreign-schema file not discarded: %v", err)
 	}
-	if _, corrupt := d.counters(); corrupt != 1 {
-		t.Errorf("corrupt counter = %d, want 1", corrupt)
+	// Schema mismatches are classified apart from corruption: an
+	// upgrade aging a shared cache dir out is expected, bit rot is not.
+	evic, corrupt, schema := d.counters()
+	_ = evic
+	if corrupt != 0 || schema != 1 {
+		t.Errorf("counters corrupt=%d schema=%d, want 0 and 1", corrupt, schema)
+	}
+	// The slot recomputes cleanly under the current schema.
+	mustPut(t, d, 2)
+	if a, ok := d.Get(wu); !ok {
+		t.Fatal("re-put after schema discard missed")
+	} else {
+		checkSynthetic(t, a, 2)
 	}
 }
 
@@ -119,7 +130,7 @@ func TestDiskKeyCollisionFileDiscarded(t *testing.T) {
 	if _, ok := d.Get(unitFor(3)); ok {
 		t.Fatal("artifact answering a different key served as a hit")
 	}
-	if _, corrupt := d.counters(); corrupt != 1 {
+	if _, corrupt, _ := d.counters(); corrupt != 1 {
 		t.Errorf("corrupt counter = %d, want 1", corrupt)
 	}
 }
@@ -138,7 +149,7 @@ func TestDiskLRUEviction(t *testing.T) {
 		t.Fatal("warm-up read missed")
 	}
 	mustPut(t, d, 4)
-	if evictions, _ := d.counters(); evictions != 1 {
+	if evictions, _, _ := d.counters(); evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", evictions)
 	}
 	if _, ok := d.Get(unitFor(2)); ok {
@@ -318,7 +329,7 @@ func TestDiskConcurrentReadersDuringEviction(t *testing.T) {
 	time.Sleep(200 * time.Millisecond)
 	close(stop)
 	wg.Wait()
-	if evictions, _ := d.counters(); evictions == 0 {
+	if evictions, _, _ := d.counters(); evictions == 0 {
 		t.Error("stress run never evicted; budget too generous to exercise the race")
 	}
 	if d.Bytes() > d.MaxBytes() {

@@ -26,6 +26,13 @@ import (
 //	...     4     APL count A (uint32 LE)
 //	...     8*A   per-application APLs (float64 bits LE)
 //	...     8*4   MaxAPL, DevAPL, GlobalAPL, MinMaxRatio (float64 bits LE)
+//	...     4     Pareto-set member count S (uint32 LE; 0 for scalar
+//	              artifacts) — new in schema v2
+//	...           S members, each:
+//	                4    mapping length N_i (uint32 LE)
+//	                4*N_i  mapping tiles (uint32 LE each)
+//	                4    vector dimension D_i (uint32 LE)
+//	                8*D_i  cost vector (float64 bits LE)
 //	...     8     FNV-1a 64 checksum of every preceding byte (uint64 LE)
 //
 // Float64 values are stored as raw IEEE-754 bits, so a decoded
@@ -40,8 +47,28 @@ var ErrCorrupt = errors.New("artifact: corrupt encoding")
 
 // ErrSchema marks an artifact encoded under a different schema
 // version. Like corruption it degrades to recompute; unlike corruption
-// it is expected after an upgrade.
+// it is expected after an upgrade. Concrete mismatches are reported as
+// a *SchemaError, which errors.Is-matches this sentinel.
 var ErrSchema = errors.New("artifact: schema version mismatch")
+
+// SchemaError is the typed form of ErrSchema: it names both the
+// version found in the file and the version this build supports, so a
+// cache directory shared across a schema bump produces a diagnosable
+// mismatch (and a clean recompute) instead of an opaque failure.
+type SchemaError struct {
+	// Found is the schema version embedded in the file.
+	Found int
+	// Supported is this build's SchemaVersion.
+	Supported int
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("artifact: schema version mismatch: file has v%d, this build reads v%d", e.Found, e.Supported)
+}
+
+// Is makes errors.Is(err, ErrSchema) match every *SchemaError.
+func (e *SchemaError) Is(target error) bool { return target == ErrSchema }
 
 // Encode serializes the artifact for wu into the versioned binary
 // form. The inverse is Decode; Encode(wu, a) round-trips bit-exactly.
@@ -54,7 +81,11 @@ func Encode(wu WorkUnit, a Artifact) []byte {
 func encodeVersion(wu WorkUnit, a Artifact, version uint32) []byte {
 	key := wu.Key()
 	n, ap := len(a.Mapping), len(a.Eval.APLs)
-	buf := make([]byte, 0, 4+4+4+len(key)+4+4*n+4+8*ap+8*4+8)
+	size := 4 + 4 + 4 + len(key) + 4 + 4*n + 4 + 8*ap + 8*4 + 4 + 8
+	for _, m := range a.Set {
+		size += 4 + 4*len(m.Mapping) + 4 + 8*len(m.Vector)
+	}
+	buf := make([]byte, 0, size)
 	buf = append(buf, magic[:]...)
 	buf = le32(buf, version)
 	buf = le32(buf, uint32(len(key)))
@@ -71,6 +102,17 @@ func encodeVersion(wu WorkUnit, a Artifact, version uint32) []byte {
 	buf = le64(buf, math.Float64bits(a.Eval.DevAPL))
 	buf = le64(buf, math.Float64bits(a.Eval.GlobalAPL))
 	buf = le64(buf, math.Float64bits(a.Eval.MinMaxRatio))
+	buf = le32(buf, uint32(len(a.Set)))
+	for _, m := range a.Set {
+		buf = le32(buf, uint32(len(m.Mapping)))
+		for _, t := range m.Mapping {
+			buf = le32(buf, uint32(t))
+		}
+		buf = le32(buf, uint32(len(m.Vector)))
+		for _, v := range m.Vector {
+			buf = le64(buf, math.Float64bits(v))
+		}
+	}
 	h := fnv.New64a()
 	h.Write(buf)
 	return le64(buf, h.Sum64())
@@ -88,7 +130,7 @@ func Decode(data []byte) (key string, a Artifact, err error) {
 	// Verify the trailing checksum first: it covers every other field,
 	// so any later parse error on checksum-valid data is a real format
 	// bug, not bit rot.
-	if len(data) < 4+4+4+4+4+8*4+8 {
+	if len(data) < 4+4+4+4+4+8*4+4+8 {
 		return "", Artifact{}, fmt.Errorf("%w: %d bytes is shorter than the minimal frame", ErrCorrupt, len(data))
 	}
 	body, tail := data[:len(data)-8], data[len(data)-8:]
@@ -103,7 +145,7 @@ func Decode(data []byte) (key string, a Artifact, err error) {
 	}
 	version := c.u32()
 	if c.err == nil && version != SchemaVersion {
-		return "", Artifact{}, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrSchema, version, SchemaVersion)
+		return "", Artifact{}, &SchemaError{Found: int(version), Supported: SchemaVersion}
 	}
 	key = string(c.bytes(int(c.u32())))
 	n := int(c.u32())
@@ -130,6 +172,37 @@ func Decode(data []byte) (key string, a Artifact, err error) {
 	a.Eval.DevAPL = math.Float64frombits(c.u64())
 	a.Eval.GlobalAPL = math.Float64frombits(c.u64())
 	a.Eval.MinMaxRatio = math.Float64frombits(c.u64())
+	s := int(c.u32())
+	if c.err == nil && (s < 0 || s > len(c.b)/8) {
+		return "", Artifact{}, fmt.Errorf("%w: set member count %d exceeds frame", ErrCorrupt, s)
+	}
+	if c.err == nil && s > 0 {
+		a.Set = make([]SetMember, s)
+		for i := range a.Set {
+			mn := int(c.u32())
+			if c.err == nil && (mn < 0 || mn > len(c.b)/4) {
+				return "", Artifact{}, fmt.Errorf("%w: set member %d mapping length %d exceeds frame", ErrCorrupt, i, mn)
+			}
+			if c.err != nil {
+				break
+			}
+			a.Set[i].Mapping = make(core.Mapping, mn)
+			for j := range a.Set[i].Mapping {
+				a.Set[i].Mapping[j] = mesh.Tile(c.u32())
+			}
+			vd := int(c.u32())
+			if c.err == nil && (vd < 0 || vd > len(c.b)/8) {
+				return "", Artifact{}, fmt.Errorf("%w: set member %d vector dimension %d exceeds frame", ErrCorrupt, i, vd)
+			}
+			if c.err != nil {
+				break
+			}
+			a.Set[i].Vector = make([]float64, vd)
+			for d := range a.Set[i].Vector {
+				a.Set[i].Vector[d] = math.Float64frombits(c.u64())
+			}
+		}
+	}
 	if c.err != nil {
 		return "", Artifact{}, c.err
 	}

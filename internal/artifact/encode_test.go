@@ -3,6 +3,7 @@ package artifact
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"obm/internal/core"
@@ -11,7 +12,9 @@ import (
 
 // testArtifact builds a small artifact with floats chosen to expose
 // any lossy encoding: values with no short decimal form, a negative
-// zero, and a subnormal.
+// zero, and a subnormal. It carries a two-member Pareto set so the
+// schema-v2 set section is covered by every round-trip, truncation,
+// bit-rot, and cross-process test.
 func testArtifact() (WorkUnit, Artifact) {
 	wu := NewWorkUnit("p8x8c1-0123456789abcdef", "sss(w=4)", "maxapl")
 	a := Artifact{
@@ -22,6 +25,10 @@ func testArtifact() (WorkUnit, Artifact) {
 			DevAPL:      0.030000000000000002,
 			GlobalAPL:   21.0 / 7.0,
 			MinMaxRatio: 0.9999999999999999,
+		},
+		Set: []SetMember{
+			{Mapping: core.Mapping{3, 1, 0, 2}, Vector: []float64{0.1 + 0.2, math.Copysign(0, -1), 5e-324}},
+			{Mapping: core.Mapping{0, 1, 2, 3}, Vector: []float64{math.Nextafter(21.5, 22), 1.0 / 3.0, 7}},
 		},
 	}
 	return wu, a
@@ -66,6 +73,36 @@ func TestEncodeDecodeRoundTripBitIdentical(t *testing.T) {
 			t.Errorf("%s bits %016x, want %016x", f.name, math.Float64bits(f.got), math.Float64bits(f.want))
 		}
 	}
+	if len(got.Set) != len(a.Set) {
+		t.Fatalf("set member count %d, want %d", len(got.Set), len(a.Set))
+	}
+	for i := range a.Set {
+		for j := range a.Set[i].Mapping {
+			if got.Set[i].Mapping[j] != a.Set[i].Mapping[j] {
+				t.Errorf("set[%d].Mapping[%d] = %d, want %d", i, j, got.Set[i].Mapping[j], a.Set[i].Mapping[j])
+			}
+		}
+		for d := range a.Set[i].Vector {
+			if math.Float64bits(got.Set[i].Vector[d]) != math.Float64bits(a.Set[i].Vector[d]) {
+				t.Errorf("set[%d].Vector[%d] bits %016x, want %016x", i, d,
+					math.Float64bits(got.Set[i].Vector[d]), math.Float64bits(a.Set[i].Vector[d]))
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeEmptySet: scalar artifacts (no set) still round-trip
+// with a nil Set, not an empty non-nil one.
+func TestEncodeDecodeEmptySet(t *testing.T) {
+	wu, a := testArtifact()
+	a.Set = nil
+	_, got, err := Decode(Encode(wu, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Set != nil {
+		t.Fatalf("empty set decoded as %v, want nil", got.Set)
+	}
 }
 
 // TestDecodeTruncated feeds Decode every proper prefix of a valid
@@ -99,14 +136,29 @@ func TestDecodeBitRot(t *testing.T) {
 func TestDecodeWrongSchema(t *testing.T) {
 	wu, a := testArtifact()
 	data := encodeVersion(wu, a, SchemaVersion+41)
-	if _, _, err := Decode(data); !errors.Is(err, ErrSchema) {
+	_, _, err := Decode(data)
+	if !errors.Is(err, ErrSchema) {
 		t.Fatalf("err = %v, want ErrSchema", err)
+	}
+	// The typed error names both versions, so mixed-schema cache dirs
+	// produce a diagnosable message.
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SchemaError", err)
+	}
+	if se.Found != SchemaVersion+41 || se.Supported != SchemaVersion {
+		t.Fatalf("SchemaError = %+v, want Found=%d Supported=%d", se, SchemaVersion+41, SchemaVersion)
+	}
+	for _, part := range []string{"v43", "v2"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Errorf("error %q does not name %s", err.Error(), part)
+		}
 	}
 }
 
 func TestWorkUnitKey(t *testing.T) {
 	wu := NewWorkUnit("pA", "mB", "oC")
-	if got, want := wu.Key(), "wu1|pA|mB|oC"; got != want {
+	if got, want := wu.Key(), "wu2|pA|mB|oC"; got != want {
 		t.Errorf("Key = %q, want %q", got, want)
 	}
 	// The zero schema resolves to the current version: the two forms
@@ -119,7 +171,7 @@ func TestWorkUnitKey(t *testing.T) {
 		{Problem: "pX", Mapper: "mB", Objective: "oC"},
 		{Problem: "pA", Mapper: "mX", Objective: "oC"},
 		{Problem: "pA", Mapper: "mB", Objective: "oX"},
-		{Problem: "pA", Mapper: "mB", Objective: "oC", Schema: 2},
+		{Problem: "pA", Mapper: "mB", Objective: "oC", Schema: SchemaVersion + 1},
 	} {
 		if alt.Key() == wu.Key() {
 			t.Errorf("%+v shares a key with %+v", alt, wu)
@@ -131,7 +183,11 @@ func TestArtifactCloneIndependent(t *testing.T) {
 	_, a := testArtifact()
 	c := a.Clone()
 	c.Mapping[0], c.Eval.APLs[0] = 99, -1
+	c.Set[0].Mapping[0], c.Set[0].Vector[0] = 99, -1
 	if a.Mapping[0] == 99 || a.Eval.APLs[0] == -1 {
 		t.Error("Clone shares storage with the original")
+	}
+	if a.Set[0].Mapping[0] == 99 || a.Set[0].Vector[0] == -1 {
+		t.Error("Clone shares set storage with the original")
 	}
 }

@@ -9,12 +9,13 @@ import (
 )
 
 // goldenSHA pins the byte-exact encoding of testArtifact under schema
-// version 1. If this test fails you have changed the wire format:
+// version 2 (the set-valued encoding; v1 pinned 151 bytes /
+// ab7ee8c2…). If this test fails you have changed the wire format:
 // bump SchemaVersion (old caches then recompute cleanly via ErrSchema)
 // and re-pin, never re-pin alone.
 const (
-	goldenLen = 151
-	goldenSHA = "ab7ee8c26ca35d29c8dc5dc2e9f265e0fb77d705f81437cfa637d2c2401eed8b"
+	goldenLen = 251
+	goldenSHA = "d802381e0ce89a96a820215addd16ceadb7f6b1e1bc0d61be42d14015b6ce9f2"
 )
 
 func TestGoldenEncodingStable(t *testing.T) {

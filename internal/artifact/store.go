@@ -53,9 +53,11 @@ type Stats struct {
 	// Bypass counts explicit no-cache requests (timing harnesses).
 	Bypass uint64 `json:"bypass,omitempty"`
 	// Disk-tier occupancy and failure accounting; zero when no disk
-	// tier is attached.
+	// tier is attached. DiskSchema counts stale-schema files discarded
+	// after an encoding bump (expected, unlike DiskCorrupt).
 	DiskEvictions uint64 `json:"disk_evictions,omitempty"`
 	DiskCorrupt   uint64 `json:"disk_corrupt,omitempty"`
+	DiskSchema    uint64 `json:"disk_schema_mismatch,omitempty"`
 	DiskEntries   int    `json:"disk_entries,omitempty"`
 	DiskBytes     int64  `json:"disk_bytes,omitempty"`
 }
@@ -213,7 +215,7 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	s.mu.Unlock()
 	if s.disk != nil {
-		st.DiskEvictions, st.DiskCorrupt = s.disk.counters()
+		st.DiskEvictions, st.DiskCorrupt, st.DiskSchema = s.disk.counters()
 		st.DiskEntries = s.disk.Len()
 		st.DiskBytes = s.disk.Bytes()
 	}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strconv"
+
+	"obm/internal/power"
+)
+
+// Energy is a dynamic NoC energy objective backed by
+// power.EstimateEnergy: the latency-weighted flit-hop volume of a
+// mapping priced at the DSENT-style per-flit-hop energy. It is the
+// energy axis the multi-objective literature (Marcon et al.; the
+// Pareto-Optimization Framework for Automated NoC Design) trades
+// against latency, expressed inside the Objective contract so it can
+// be optimized scalar-wise (-objective energy) and as a component of a
+// VectorObjective.
+//
+// Derivation: the analytic model prices thread j on tile k at
+// c_j·TC(k) + m_j·TM(k), where TC(k) = avgHops(k)·perHop +
+// TdS·(N−1)/N and TM(k) = HM(k)·perHop + TdS (0 on a tile hosting a
+// memory controller). Summing over all threads, the serialization
+// terms contribute a mapping-independent offset TdS·((N−1)/N·ΣC +
+// ΣM), so (Σ num − offset)/perHop recovers the rate-weighted hop
+// volume, which power.EstimateEnergy prices in pJ. Threads landing on
+// a controller tile have no TdS term in num, so the offset slightly
+// over-subtracts for them; accepting that bounded, mapping-dependent
+// error (clamped at zero) is what keeps Energy a pure function of the
+// shared numerator domain like every other Objective — and makes it
+// ordering-equivalent to total latency, which is exactly the axis the
+// {max-APL, dev-APL, energy} front trades balance against.
+//
+// Models without hop structure (perHop == 0, e.g. NewTable instances
+// with zero Params) score 0.
+type Energy struct {
+	// Params are the per-flit-hop energies; the zero value means
+	// power.Default45nm().
+	Params power.Params
+}
+
+// params resolves the zero value to the 45nm defaults.
+func (e Energy) params() power.Params {
+	if e.Params == (power.Params{}) {
+		return power.Default45nm()
+	}
+	return e.Params
+}
+
+// Name implements Objective.
+func (Energy) Name() string { return "energy" }
+
+// Fingerprint implements Objective. Only the per-flit-hop energy can
+// change the cost, so it is the only parameter printed; the default
+// 45nm parameters keep the bare "energy" key.
+func (e Energy) Fingerprint() string {
+	if e.Params == (power.Params{}) || e.Params == power.Default45nm() {
+		return "energy"
+	}
+	return "energy(pfh=" + strconv.FormatFloat(e.Params.PerFlitHop(), 'g', -1, 64) + ")"
+}
+
+// Value implements Objective.
+func (e Energy) Value(p *Problem, num []float64) float64 {
+	var total float64
+	for _, n := range num {
+		total += n
+	}
+	return e.cost(p, total)
+}
+
+// ValueWith implements Objective.
+func (e Energy) ValueWith(p *Problem, num []float64, apps []int, trial []float64) float64 {
+	var total float64
+	for i := range num {
+		total += effNum(num, apps, trial, i)
+	}
+	return e.cost(p, total)
+}
+
+// cost converts a chip-wide total packet latency into pJ.
+func (e Energy) cost(p *Problem, totalNum float64) float64 {
+	mp := p.lm.Params()
+	perHop := mp.PerHop()
+	if perHop <= 0 {
+		return 0
+	}
+	n := float64(p.lm.NumTiles())
+	offset := mp.TdS * (p.totalCache*(n-1)/n + p.totalMem)
+	hops := (totalNum - offset) / perHop
+	if hops < 0 {
+		hops = 0
+	}
+	return power.EstimateEnergy(e.params(), hops)
+}

@@ -251,6 +251,8 @@ type Weighted struct {
 	// Max, Dev, Global, Ratio weight the MaxAPL, DevAPL, GAPL and
 	// MinMaxRatio costs respectively.
 	Max, Dev, Global, Ratio float64
+	// Energy weights the Energy cost (pJ, default 45nm parameters).
+	Energy float64
 }
 
 // Name implements Objective.
@@ -270,6 +272,7 @@ func (w Weighted) params() string {
 	add("dev", w.Dev)
 	add("global", w.Global)
 	add("ratio", w.Ratio)
+	add("energy", w.Energy)
 	return "(" + strings.Join(parts, ",") + ")"
 }
 
@@ -293,13 +296,16 @@ func (w Weighted) ValueWith(p *Problem, num []float64, apps []int, trial []float
 	if w.Ratio != 0 {
 		v += w.Ratio * (MinMaxRatio{}).ValueWith(p, num, apps, trial)
 	}
+	if w.Energy != 0 {
+		v += w.Energy * (Energy{}).ValueWith(p, num, apps, trial)
+	}
 	return v
 }
 
 // Objectives returns one instance of every named (non-composite)
 // objective, in presentation order.
 func Objectives() []Objective {
-	return []Objective{MaxAPL{}, DevAPL{}, GAPL{}, MinMaxRatio{}}
+	return []Objective{MaxAPL{}, DevAPL{}, GAPL{}, MinMaxRatio{}, Energy{}}
 }
 
 // ParseObjective resolves a command-line objective spelling:
@@ -308,7 +314,9 @@ func Objectives() []Objective {
 //	dev | devapl          dev-APL (population stddev)
 //	global | gapl         overall APL
 //	ratio | minmax        1 - min/max-APL
-//	weighted:max=1,dev=2  linear composite (keys max, dev, global, ratio)
+//	energy                dynamic NoC energy (pJ, 45nm defaults)
+//	weighted:max=1,dev=2  linear composite (keys max, dev, global,
+//	                      ratio, energy)
 //
 // The empty string parses to DefaultObjective.
 func ParseObjective(s string) (Objective, error) {
@@ -321,6 +329,8 @@ func ParseObjective(s string) (Objective, error) {
 		return GAPL{}, nil
 	case "ratio", "minmax", "minmaxratio", "minmax-ratio":
 		return MinMaxRatio{}, nil
+	case "energy":
+		return Energy{}, nil
 	}
 	if rest, ok := strings.CutPrefix(strings.ToLower(strings.TrimSpace(s)), "weighted:"); ok {
 		w := Weighted{}
@@ -342,8 +352,10 @@ func ParseObjective(s string) (Objective, error) {
 				w.Global = v
 			case "ratio":
 				w.Ratio = v
+			case "energy":
+				w.Energy = v
 			default:
-				return nil, fmt.Errorf("core: weighted objective key %q (want max, dev, global, ratio)", k)
+				return nil, fmt.Errorf("core: weighted objective key %q (want max, dev, global, ratio, energy)", k)
 			}
 		}
 		if w == (Weighted{}) {
@@ -351,12 +363,12 @@ func ParseObjective(s string) (Objective, error) {
 		}
 		return w, nil
 	}
-	names := make([]string, 0, 4)
+	names := make([]string, 0, 5)
 	for _, o := range Objectives() {
 		names = append(names, o.Fingerprint())
 	}
 	sort.Strings(names)
-	return nil, fmt.Errorf("core: unknown objective %q (want max, dev, global, ratio, or weighted:max=1,dev=2; have %s)",
+	return nil, fmt.Errorf("core: unknown objective %q (want max, dev, global, ratio, energy, or weighted:max=1,dev=2; have %s)",
 		s, strings.Join(names, ", "))
 }
 

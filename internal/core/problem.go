@@ -37,6 +37,8 @@ type Problem struct {
 	appOf      []int     // thread -> application index
 	appWeight  []float64 // per-application sum of (c_j+m_j)
 	totalRate  float64   // sum over all threads of (c_j+m_j)
+	totalCache float64   // sum over all threads of c_j
+	totalMem   float64   // sum over all threads of m_j
 
 	// fingerprint caches Fingerprint()'s content hash (computed once;
 	// Problems are immutable after construction).
@@ -88,6 +90,8 @@ func NewProblemWithCapacity(lm *model.LatencyModel, w *workload.Workload, capaci
 		for j := p.boundaries[i]; j < p.boundaries[i+1]; j++ {
 			p.appOf[j] = i
 			p.appWeight[i] += p.cache[j] + p.mem[j]
+			p.totalCache += p.cache[j]
+			p.totalMem += p.mem[j]
 		}
 		p.totalRate += p.appWeight[i]
 	}
@@ -151,6 +155,14 @@ func (p *Problem) AppWeight(i int) float64 { return p.appWeight[i] }
 // TotalRate returns the chip-wide total request rate (the g-APL
 // denominator).
 func (p *Problem) TotalRate() float64 { return p.totalRate }
+
+// TotalCacheRate returns the chip-wide shared-cache request rate
+// (sum of c_j over every thread).
+func (p *Problem) TotalCacheRate() float64 { return p.totalCache }
+
+// TotalMemRate returns the chip-wide memory request rate (sum of m_j
+// over every thread).
+func (p *Problem) TotalMemRate() float64 { return p.totalMem }
 
 // ThreadCost returns the total packet latency contributed by thread j
 // when placed on slot t: c_j*TC + m_j*TM of the slot's tile (eq. 13).

@@ -20,6 +20,7 @@ import (
 	"obm/internal/mesh"
 	"obm/internal/model"
 	"obm/internal/scenario"
+	"obm/internal/sched"
 	"obm/internal/workload"
 )
 
@@ -54,6 +55,12 @@ type Options struct {
 	// CacheSize bounds the disk tier in bytes (LRU-evicted); <= 0
 	// means unbounded. Execution-shape only, like CacheDir.
 	CacheSize int64
+	// Stream overrides the dynstream experiment's timeline generator:
+	// a comma-separated key=value list over sched.GenConfig's load
+	// shape (load, gap, minthreads, maxthreads, appsigma, threadsigma),
+	// e.g. "load=0.8,maxthreads=24". "" keeps the documented defaults.
+	// Only experiments that generate timelines read it.
+	Stream string
 }
 
 // Validate fails fast on malformed options — in particular an unknown
@@ -71,6 +78,11 @@ func (o Options) Validate() error {
 		if !valid[c] {
 			return fmt.Errorf("experiments: unknown config %q (valid: %s)", c, strings.Join(names, ", "))
 		}
+	}
+	// Parse (not apply) the stream override spec, so a typo exits 2 up
+	// front instead of failing deep inside the dynstream runner.
+	if _, err := (sched.GenConfig{}).WithOverrides(o.Stream); err != nil {
+		return err
 	}
 	return nil
 }
@@ -184,6 +196,16 @@ func configsOrDefault(o Options, def []string) ([]string, error) {
 // for it; hits surface as skipped stages on the progress sink.
 func mapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) (core.Mapping, core.Evaluation, error) {
 	return scenario.Shared().MapEval(ctx, p, m)
+}
+
+// mapEvalSet is the set-valued twin of mapEval: it runs set-mapper sm
+// through the same process-wide artifact store, keyed by the vector
+// objective's fingerprint, so Pareto fronts are computed once per run
+// (once per machine with a disk tier) and hits surface as skipped
+// stages exactly like scalar artifacts. Never call mapping.MapSet
+// directly from a runner.
+func mapEvalSet(ctx context.Context, p *core.Problem, sm mapping.SetMapper) (core.ParetoSet, error) {
+	return scenario.Shared().MapEvalSet(ctx, p, sm)
 }
 
 // mapEvalUncached is the explicit no-cache path for runners that

@@ -11,7 +11,7 @@ func quickOpts() Options { return Options{Quick: true, Seed: 1} }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "burst", "capacity", "congestion", "dynamic", "dynstream", "fig10", "fig11", "fig12", "fig3", "fig4",
-		"fig5", "fig8", "fig9", "gap", "loadsweep", "objective", "placement", "scaling", "seeds",
+		"fig5", "fig8", "fig9", "gap", "loadsweep", "objective", "pareto", "placement", "scaling", "seeds",
 		"table1", "table3", "table4", "tail", "topology", "validate"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -263,7 +263,7 @@ func TestRenderHelpers(t *testing.T) {
 	if !strings.Contains(grid, " 1 ") || !strings.Contains(grid, "G\n") {
 		t.Errorf("grid render: %q", grid)
 	}
-	hm := renderHeatmap("H", [][]float64{{0, 1}, {2, 3}})
+	hm := renderHeatmap("H", [][]float64{{0, 1}, {2, 3}}, "")
 	if !strings.Contains(hm, "range") {
 		t.Errorf("heatmap render: %q", hm)
 	}
@@ -298,5 +298,17 @@ func TestOptionsSpec(t *testing.T) {
 	}
 	if _, err := (Options{Configs: []string{"nope"}}).Spec("C1"); err == nil {
 		t.Error("unknown config accepted")
+	}
+}
+
+func TestStreamOptionValidation(t *testing.T) {
+	o := quickOpts()
+	o.Stream = "load=0.8,maxthreads=24"
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o.Stream = "bogus=1"
+	if err := o.Validate(); err == nil {
+		t.Error("bad stream spec accepted")
 	}
 }

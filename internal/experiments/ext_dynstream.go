@@ -34,9 +34,12 @@ type DynstreamRow struct {
 	MaxAPL, DevAPL   float64
 }
 
-// DynstreamResult is the scheme comparison.
+// DynstreamResult is the scheme comparison. Stream records the
+// generator override spec the run used ("" for the defaults), so
+// outputs under different load shapes are self-describing.
 type DynstreamResult struct {
 	Events int
+	Stream string
 	Rows   []DynstreamRow
 }
 
@@ -97,8 +100,11 @@ func (e extDynstream) Run(ctx context.Context, o Options) (Result, error) {
 		interval = 5_000
 	}
 	lm := paperModel()
-	gen := sched.GenConfig{Events: events, Tiles: lm.NumTiles(), Seed: o.Seed}
-	res := &DynstreamResult{Events: events}
+	gen, err := sched.GenConfig{Events: events, Tiles: lm.NumTiles(), Seed: o.Seed}.WithOverrides(o.Stream)
+	if err != nil {
+		return nil, err
+	}
+	res := &DynstreamResult{Events: events, Stream: o.Stream}
 	for _, s := range dynstreamSchemes(interval) {
 		src, err := sched.NewGenerator(gen)
 		if err != nil {
@@ -129,7 +135,11 @@ func (e extDynstream) Run(ctx context.Context, o Options) (Result, error) {
 }
 
 func (r *DynstreamResult) table() *Table {
-	t := newTable(fmt.Sprintf("Streaming remapping schemes (%d-event generated timeline, time-weighted)", r.Events),
+	title := fmt.Sprintf("Streaming remapping schemes (%d-event generated timeline, time-weighted)", r.Events)
+	if r.Stream != "" {
+		title = fmt.Sprintf("Streaming remapping schemes (%d-event generated timeline, time-weighted; stream %s)", r.Events, r.Stream)
+	}
+	t := newTable(title,
 		"Scheme", "events", "remaps", "rejected", "migrations", "max-APL", "dev-APL")
 	for _, row := range r.Rows {
 		t.addRow(row.Scheme,

@@ -38,6 +38,8 @@ type ObjectiveCell struct {
 	// MinMaxRatio is min/max APL (higher is better, unlike the other
 	// three).
 	MinMaxRatio float64
+	// EnergyPJ is the mapping's dynamic NoC energy (core.Energy, pJ).
+	EnergyPJ float64
 }
 
 // ObjectiveConfig is one configuration's grid, mapper-major.
@@ -77,13 +79,15 @@ func (e extObjective) Run(ctx context.Context, o Options) (Result, error) {
 		labels := []string{"MC", "SA", "SSS"}
 		// Mapper-major: all objectives of one mapper are adjacent rows,
 		// so the per-mapper trade-offs read straight down the table.
+		num := make([]float64, p.NumApps())
 		for mi := range labels {
 			for _, obj := range objs {
 				m := mappersFor(obj)[mi]
-				_, ev, err := mapEval(ctx, p, m)
+				mp, ev, err := mapEval(ctx, p, m)
 				if err != nil {
 					return fmt.Errorf("%s under %s: %w", m.Name(), obj.Name(), err)
 				}
+				p.Numerators(mp, num)
 				grid.Cells = append(grid.Cells, ObjectiveCell{
 					Mapper:      labels[mi],
 					Objective:   obj.Name(),
@@ -91,6 +95,7 @@ func (e extObjective) Run(ctx context.Context, o Options) (Result, error) {
 					DevAPL:      ev.DevAPL,
 					GlobalAPL:   ev.GlobalAPL,
 					MinMaxRatio: ev.MinMaxRatio,
+					EnergyPJ:    core.Energy{}.Value(p, num),
 				})
 			}
 		}
@@ -113,6 +118,8 @@ func (c ObjectiveCell) ownMetric(objective string) (value float64, lowerBetter b
 		return c.GlobalAPL, true
 	case (core.MinMaxRatio{}).Name():
 		return c.MinMaxRatio, false
+	case (core.Energy{}).Name():
+		return c.EnergyPJ, true
 	default:
 		return c.MaxAPL, true
 	}
@@ -158,14 +165,15 @@ func (r *ObjectiveResult) OwnMetricGain(config, mapper, objective string) (gain 
 func (r *ObjectiveResult) doc() *Doc {
 	d := newDoc()
 	for _, g := range r.Configs {
-		t := newTable(fmt.Sprintf("Mapper x objective grid, %s (cycles; min/max dimensionless)", g.Config),
-			"Mapper", "Objective", "max-APL", "dev-APL", "g-APL", "min/max")
+		t := newTable(fmt.Sprintf("Mapper x objective grid, %s (cycles; min/max dimensionless; energy pJ)", g.Config),
+			"Mapper", "Objective", "max-APL", "dev-APL", "g-APL", "min/max", "energy")
 		for _, c := range g.Cells {
 			t.addRow(c.Mapper, c.Objective,
 				fmt.Sprintf("%.2f", c.MaxAPL),
 				fmt.Sprintf("%.3f", c.DevAPL),
 				fmt.Sprintf("%.2f", c.GlobalAPL),
-				fmt.Sprintf("%.3f", c.MinMaxRatio))
+				fmt.Sprintf("%.3f", c.MinMaxRatio),
+				fmt.Sprintf("%.1f", c.EnergyPJ))
 		}
 		d.add(t)
 	}

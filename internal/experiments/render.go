@@ -143,15 +143,19 @@ type Heatmap struct {
 	Unit   string
 }
 
-func (h *Heatmap) renderText() string { return renderHeatmap(h.Title, h.Values) }
+func (h *Heatmap) renderText() string { return renderHeatmap(h.Title, h.Values, h.Unit) }
 func (h *Heatmap) csvText() string    { return "" }
 func (h *Heatmap) blockJSON() BlockJSON {
 	return BlockJSON{Kind: "heatmap", Title: h.Title, Values: h.Values, Unit: h.Unit}
 }
 
 // renderHeatmap draws per-tile float values with a shade character
-// ramp.
-func renderHeatmap(title string, vals [][]float64) string {
+// ramp; unit labels the range line ("cycles" when empty, the
+// historical default).
+func renderHeatmap(title string, vals [][]float64, unit string) string {
+	if unit == "" {
+		unit = "cycles"
+	}
 	var mn, mx float64
 	first := true
 	for _, row := range vals {
@@ -186,7 +190,7 @@ func renderHeatmap(title string, vals [][]float64) string {
 		}
 		sb.WriteByte('\n')
 	}
-	fmt.Fprintf(&sb, "  (range %.2f .. %.2f cycles)\n", mn, mx)
+	fmt.Fprintf(&sb, "  (range %.2f .. %.2f %s)\n", mn, mx, unit)
 	return sb.String()
 }
 

@@ -57,13 +57,13 @@ func TestRenderGridShapes(t *testing.T) {
 func TestRenderHeatmapShapes(t *testing.T) {
 	// Empty input still emits the title and a (degenerate) range line
 	// rather than panicking.
-	got := renderHeatmap("empty", nil)
+	got := renderHeatmap("empty", nil, "")
 	if !strings.HasPrefix(got, "empty\n") || !strings.Contains(got, "range") {
 		t.Errorf("empty heatmap = %q", got)
 	}
 	// A uniform field has mx == mn; every cell must use the lowest ramp
 	// shade instead of dividing by zero.
-	got = renderHeatmap("", [][]float64{{2, 2}, {2, 2}})
+	got = renderHeatmap("", [][]float64{{2, 2}, {2, 2}}, "")
 	if strings.ContainsAny(got, "@#%") {
 		t.Errorf("uniform field should use the low end of the ramp: %q", got)
 	}
@@ -71,7 +71,7 @@ func TestRenderHeatmapShapes(t *testing.T) {
 		t.Errorf("range line wrong: %q", got)
 	}
 	// Ragged rows keep per-row lengths; extremes land on ramp extremes.
-	got = renderHeatmap("r", [][]float64{{0}, {1, 100}})
+	got = renderHeatmap("r", [][]float64{{0}, {1, 100}}, "")
 	if !strings.Contains(got, "@@") {
 		t.Errorf("max value should map to the densest shade: %q", got)
 	}

@@ -102,6 +102,17 @@ func Estimate(p Params, st noc.Stats, numRouters, numLinks int) (Report, error) 
 	return rep, nil
 }
 
+// EstimateEnergy returns the dynamic NoC energy, in pJ, of moving
+// flitHops flit-hops through the network: the analytic-model
+// counterpart of Estimate for callers that know traffic volume but run
+// no cycle-accurate simulation (core.Energy derives flitHops from the
+// latency model's hop structure). flitHops may be fractional — the
+// analytic model works in request rates, so the result is an energy
+// rate at the same scale, which is all a relative comparison needs.
+func EstimateEnergy(p Params, flitHops float64) float64 {
+	return flitHops * p.PerFlitHop()
+}
+
 // MeshLinkCount returns the number of unidirectional inter-router links
 // in a rows x cols mesh (each adjacent pair is connected both ways).
 func MeshLinkCount(rows, cols int) int {

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 
 	"obm/internal/artifact"
@@ -68,6 +69,64 @@ func (c *Cache) MapEval(ctx context.Context, p *core.Problem, m mapping.Mapper) 
 		engine.ReportSkipped(ctx, "disk:"+m.Name())
 	}
 	return art.Mapping, art.Eval, nil
+}
+
+// setWorkUnit builds the canonical descriptor for one set-mapper
+// invocation: the vector objective's fingerprint takes the objective
+// slot, so set-valued artifacts never collide with scalar ones (no
+// scalar objective fingerprints as "vec(...)").
+func setWorkUnit(p *core.Problem, sm mapping.SetMapper) artifact.WorkUnit {
+	return artifact.NewWorkUnit(p.Fingerprint(), sm.Fingerprint(), sm.Vector().Fingerprint())
+}
+
+// setComputeFn returns the store compute callback for one set-mapper
+// invocation. The artifact carries the full front in Set and the
+// representative (first canonical member) in Mapping/Eval, so
+// point-valued consumers of the same artifact see a sensible mapping
+// without knowing about fronts.
+func setComputeFn(p *core.Problem, sm mapping.SetMapper) func(context.Context) (artifact.Artifact, error) {
+	return func(ctx context.Context) (artifact.Artifact, error) {
+		set, err := mapping.MapSetAndCheck(ctx, sm, p)
+		if err != nil {
+			return artifact.Artifact{}, err
+		}
+		rep := set.Members[0]
+		a := artifact.Artifact{
+			Mapping: rep.Mapping,
+			Eval:    p.Evaluate(rep.Mapping),
+			Set:     make([]artifact.SetMember, set.Len()),
+		}
+		for i, m := range set.Members {
+			a.Set[i] = artifact.SetMember{Mapping: m.Mapping, Vector: m.Vector}
+		}
+		return a, nil
+	}
+}
+
+// MapEvalSet returns set-mapper sm's validated Pareto front on p,
+// cached under the same two-tier policy as MapEval: computed at most
+// once per distinct work unit, keyed by (problem, mapper, vector
+// objective) fingerprints, with tier-accurate skipped-stage reporting
+// on hits. The returned set is an independent copy.
+func (c *Cache) MapEvalSet(ctx context.Context, p *core.Problem, sm mapping.SetMapper) (core.ParetoSet, error) {
+	art, src, err := c.store.Get(ctx, setWorkUnit(p, sm), setComputeFn(p, sm))
+	if err != nil {
+		return core.ParetoSet{}, err
+	}
+	switch src {
+	case artifact.SourceMemory:
+		engine.ReportSkipped(ctx, "cached:"+sm.Name())
+	case artifact.SourceDisk:
+		engine.ReportSkipped(ctx, "disk:"+sm.Name())
+	}
+	set := core.ParetoSet{Members: make([]core.ParetoMember, len(art.Set))}
+	for i, m := range art.Set {
+		set.Members[i] = core.ParetoMember{Mapping: m.Mapping, Vector: m.Vector}
+	}
+	if err := set.Validate(p.N()); err != nil {
+		return core.ParetoSet{}, fmt.Errorf("scenario: cached front for %s invalid: %w", sm.Name(), err)
+	}
+	return set, nil
 }
 
 // MapEvalUncached is the explicit no-cache path for harnesses that

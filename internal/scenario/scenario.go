@@ -47,6 +47,10 @@ type Budget struct {
 	// replicas measurement experiments average (replica 0 reuses the
 	// base seed, so one replica reproduces the unreplicated output).
 	SimReplicas int
+	// ParetoPop and ParetoGens are the NSGA-II population size and
+	// generation budget for set-valued (Pareto-front) experiments.
+	ParetoPop  int
+	ParetoGens int
 }
 
 // DefaultBudget returns the paper's full budgets, or the quick-mode
@@ -54,9 +58,9 @@ type Budget struct {
 // bars grow).
 func DefaultBudget(quick bool) Budget {
 	if quick {
-		return Budget{RandomDraws: 500, MCSamples: 1_000, SAIters: 5_000, SimReplicas: 1}
+		return Budget{RandomDraws: 500, MCSamples: 1_000, SAIters: 5_000, SimReplicas: 1, ParetoPop: 24, ParetoGens: 20}
 	}
-	return Budget{RandomDraws: 10_000, MCSamples: 10_000, SAIters: 18_000, SimReplicas: 3}
+	return Budget{RandomDraws: 10_000, MCSamples: 10_000, SAIters: 18_000, SimReplicas: 3, ParetoPop: 64, ParetoGens: 120}
 }
 
 // Spec declares one experiment's inputs: the configurations it covers,
@@ -94,6 +98,19 @@ type Spec struct {
 	// CacheSizeBytes bounds the disk tier (LRU-evicted); <= 0 means
 	// unbounded. Execution-shape only, like CacheDir.
 	CacheSizeBytes int64
+}
+
+// ParetoMapper returns the spec's set-valued mapper: NSGA-II under
+// the spec's Pareto budgets and seed, optimizing the default
+// {max-APL, dev-APL, energy} vector objective. Like the scalar
+// mappers, Workers never reaches it — NSGA-II has no worker knob at
+// all, so fronts are structurally identical across -workers settings.
+func (s Spec) ParetoMapper() mapping.SetMapper {
+	return mapping.NSGAII{
+		Population:  s.Budget.ParetoPop,
+		Generations: s.Budget.ParetoGens,
+		Seed:        s.Seed + 3,
+	}
 }
 
 // StandardMappers returns the paper's four comparison algorithms

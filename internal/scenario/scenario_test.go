@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"obm/internal/artifact"
 	"obm/internal/core"
 	"obm/internal/engine"
 	"obm/internal/mapping"
@@ -312,5 +313,123 @@ func TestStandardMappersObjective(t *testing.T) {
 		if ms[i].Fingerprint() == alts[i].Fingerprint() {
 			t.Errorf("mapper %d fingerprint conflates objectives: %s", i, ms[i].Fingerprint())
 		}
+	}
+}
+
+// paretoQuick is a small NSGA-II shape for cache tests.
+func paretoQuick(seed uint64) mapping.NSGAII {
+	return mapping.NSGAII{Population: 16, Generations: 8, ArchiveSize: 8, Seed: seed}
+}
+
+func TestCacheMapEvalSetHitReturnsIdenticalFront(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	sm := paretoQuick(5)
+	set1, err := c.MapEvalSet(ctx, testProblem(t, "C1"), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set1.Len() < 1 {
+		t.Fatal("empty front")
+	}
+	set2, err := c.MapEvalSet(ctx, testProblem(t, "C1"), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+	if set1.Fingerprint() != set2.Fingerprint() {
+		t.Errorf("cached front differs: %s vs %s", set1.Fingerprint(), set2.Fingerprint())
+	}
+	// The returned set is an independent copy: mutating it must not
+	// corrupt the cached artifact.
+	set2.Members[0].Mapping[0], set2.Members[0].Mapping[1] = set2.Members[0].Mapping[1], set2.Members[0].Mapping[0]
+	set3, err := c.MapEvalSet(ctx, testProblem(t, "C1"), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set3.Fingerprint() != set1.Fingerprint() {
+		t.Error("cached front corrupted by caller mutation")
+	}
+}
+
+func TestCacheMapEvalSetDistinctKeys(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	p := testProblem(t, "C1")
+	if _, err := c.MapEvalSet(ctx, p, paretoQuick(5)); err != nil {
+		t.Fatal(err)
+	}
+	// A different seed is a different work unit; so is a scalar mapper
+	// on the same problem.
+	if _, err := c.MapEvalSet(ctx, p, paretoQuick(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.MapEval(ctx, p, mapping.SortSelectSwap{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 3 {
+		t.Errorf("stats = %d hits, %d misses; want 0, 3", hits, misses)
+	}
+}
+
+func TestCacheMapEvalSetDiskWarm(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	sm := paretoQuick(5)
+	disk, err := artifact.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCacheWith(disk)
+	set1, err := cold.MapEvalSet(ctx, testProblem(t, "C1"), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory (a "second process") must
+	// serve the identical front from disk without recomputing.
+	disk2, err := artifact.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCacheWith(disk2)
+	set2, err := warm.MapEvalSet(ctx, testProblem(t, "C1"), sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.StoreStats()
+	if st.Computed != 0 || st.DiskHits != 1 {
+		t.Errorf("warm stats = %+v; want 0 computed, 1 disk hit", st)
+	}
+	if set1.Fingerprint() != set2.Fingerprint() {
+		t.Errorf("disk round-trip changed the front: %s vs %s", set1.Fingerprint(), set2.Fingerprint())
+	}
+}
+
+func TestSpecParetoMapper(t *testing.T) {
+	sp := Spec{Budget: DefaultBudget(true), Seed: 1}
+	sm := sp.ParetoMapper()
+	if got := sm.Vector().Name(); got != "vec(max-APL,dev-APL,energy)" {
+		t.Errorf("ParetoMapper vector = %q", got)
+	}
+	g, ok := sm.(mapping.NSGAII)
+	if !ok {
+		t.Fatalf("ParetoMapper is %T, want NSGAII", sm)
+	}
+	if g.Population != sp.Budget.ParetoPop || g.Generations != sp.Budget.ParetoGens {
+		t.Errorf("budgets not threaded: %+v vs %+v", g, sp.Budget)
+	}
+	// Workers is execution shape: it must not change the cache key.
+	alt := sp
+	alt.Workers = 7
+	if alt.ParetoMapper().Fingerprint() != sm.Fingerprint() {
+		t.Error("Workers changes the Pareto mapper cache key")
+	}
+	// Seed does.
+	alt = sp
+	alt.Seed = 2
+	if alt.ParetoMapper().Fingerprint() == sm.Fingerprint() {
+		t.Error("seed missing from the Pareto mapper cache key")
 	}
 }

@@ -3,6 +3,8 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"obm/internal/stats"
 	"obm/internal/workload"
@@ -91,6 +93,58 @@ type GenConfig struct {
 	// hierarchy (defaults 1.2 and 0.3), mirroring workload.Generate:
 	// applications differ a lot, threads within one a little.
 	AppSigma, ThreadSigma float64
+}
+
+// WithOverrides applies a comma-separated key=value spec over the
+// generator's load-shape knobs — the form surfaced as obmsim's
+// -stream flag. Recognized keys: load (TargetLoad), gap (MeanGap),
+// minthreads, maxthreads, appsigma, threadsigma. Unknown keys and
+// unparsable values are errors (fail fast, like unknown experiment
+// configs); "" returns c unchanged. Events, Tiles, and Seed are
+// deliberately not overridable here: they are owned by the experiment
+// (scale and seeding), not the workload shape.
+func (c GenConfig) WithOverrides(spec string) (GenConfig, error) {
+	if spec == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("sched: stream override %q is not key=value", kv)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		switch k {
+		case "minthreads", "maxthreads":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return c, fmt.Errorf("sched: stream override %s=%q: %w", k, v, err)
+			}
+			if k == "minthreads" {
+				c.MinThreads = n
+			} else {
+				c.MaxThreads = n
+			}
+		case "load", "gap", "appsigma", "threadsigma":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return c, fmt.Errorf("sched: stream override %s=%q: %w", k, v, err)
+			}
+			switch k {
+			case "load":
+				c.TargetLoad = f
+			case "gap":
+				c.MeanGap = f
+			case "appsigma":
+				c.AppSigma = f
+			case "threadsigma":
+				c.ThreadSigma = f
+			}
+		default:
+			return c, fmt.Errorf("sched: unknown stream override %q (valid: load, gap, minthreads, maxthreads, appsigma, threadsigma)", k)
+		}
+	}
+	return c, nil
 }
 
 // withDefaults resolves zero fields to the documented defaults.

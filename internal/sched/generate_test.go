@@ -159,3 +159,73 @@ func TestSliceSourceRoundTrip(t *testing.T) {
 		t.Errorf("Len = %d, want %d", src.Len(), len(sc.Events))
 	}
 }
+
+func TestGenConfigWithOverrides(t *testing.T) {
+	base := GenConfig{Events: 100, Tiles: 64, Seed: 1}
+	got, err := base.WithOverrides("load=0.8, gap=50, minthreads=4,maxthreads=24,appsigma=1.5,threadsigma=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TargetLoad != 0.8 || got.MeanGap != 50 || got.MinThreads != 4 || got.MaxThreads != 24 ||
+		got.AppSigma != 1.5 || got.ThreadSigma != 0.2 {
+		t.Errorf("overrides not applied: %+v", got)
+	}
+	// Scale and seeding stay the experiment's.
+	if got.Events != 100 || got.Tiles != 64 || got.Seed != 1 {
+		t.Errorf("overrides touched non-shape fields: %+v", got)
+	}
+	// "" is the identity.
+	if same, err := base.WithOverrides(""); err != nil || same != base {
+		t.Errorf("empty spec changed the config: %+v (%v)", same, err)
+	}
+	for _, bad := range []string{"load", "load=x", "seed=2", "events=5", "nope=1"} {
+		if _, err := base.WithOverrides(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	// Overridden configs validate like hand-built ones.
+	if _, err := base.WithOverrides("load=2"); err != nil {
+		t.Fatal(err) // parse succeeds...
+	}
+	over, _ := base.WithOverrides("load=2")
+	if err := over.withDefaults().Validate(); err == nil {
+		t.Error("out-of-range load survived Validate")
+	}
+}
+
+func TestGeneratorRespectsOverrides(t *testing.T) {
+	lo, err := NewGenerator(GenConfig{Events: 2_000, Tiles: 64, Seed: 9, TargetLoad: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := (GenConfig{Events: 2_000, Tiles: 64, Seed: 9}).WithOverrides("load=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher target load means longer lifetimes, hence more concurrently
+	// live applications on average.
+	mean := func(g *Generator) float64 {
+		live, sum, n := 0, 0, 0
+		for {
+			e, ok := g.Next()
+			if !ok {
+				break
+			}
+			if e.Depart != "" {
+				live--
+			} else {
+				live++
+			}
+			sum += live
+			n++
+		}
+		return float64(sum) / float64(n)
+	}
+	if ml, mh := mean(lo), mean(hi); ml >= mh {
+		t.Errorf("mean live apps: load=0.2 gives %.2f, load=0.9 gives %.2f; want increase", ml, mh)
+	}
+}

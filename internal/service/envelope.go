@@ -47,6 +47,7 @@ type envelopeOptions struct {
 	Objective string   `json:"objective,omitempty"`
 	CacheDir  string   `json:"cachedir,omitempty"`
 	CacheSize int64    `json:"cachesize,omitempty"`
+	Stream    string   `json:"stream,omitempty"`
 }
 
 // envelopeCache is the envelope's cache block: the artifact encoding
@@ -95,6 +96,7 @@ func Envelope(req Request, entries []ExperimentEntry, metrics *MetricsBlock) ([]
 			Objective: req.Objective,
 			CacheDir:  req.CacheDir,
 			CacheSize: req.CacheSize,
+			Stream:    req.Stream,
 		},
 		Cache:       cache,
 		Experiments: entries,

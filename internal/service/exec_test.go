@@ -7,6 +7,7 @@ import (
 	"errors"
 	"testing"
 
+	"obm/internal/artifact"
 	"obm/internal/engine"
 	"obm/internal/scenario"
 )
@@ -69,7 +70,7 @@ func TestExecuteEnvelopeShape(t *testing.T) {
 	if doc.Options.Seed != 7 || !doc.Options.Quick || doc.Options.CacheSize != DefaultCacheSize {
 		t.Errorf("options echo = %+v", doc.Options)
 	}
-	if doc.Cache.Schema != 1 {
+	if doc.Cache.Schema != artifact.SchemaVersion {
 		t.Errorf("artifact schema = %d", doc.Cache.Schema)
 	}
 	if len(doc.Experiments) != 2 || doc.Experiments[0].ID != "fig5" || doc.Experiments[1].ID != "table3" {

@@ -75,6 +75,10 @@ type Request struct {
 	// CacheSize bounds the disk tier in bytes; 0 means
 	// DefaultCacheSize, <0 unbounded.
 	CacheSize int64 `json:"cachesize,omitempty"`
+	// Stream overrides the dynstream timeline generator's load shape
+	// ("load=0.8,maxthreads=24"; see sched.GenConfig.WithOverrides).
+	// "" keeps the documented defaults.
+	Stream string `json:"stream,omitempty"`
 }
 
 // Normalized returns the request with defaults applied: Seed 0 becomes
@@ -102,6 +106,7 @@ func (r Request) Options() (experiments.Options, error) {
 		Workers:   r.Workers,
 		CacheDir:  r.CacheDir,
 		CacheSize: r.CacheSize,
+		Stream:    r.Stream,
 	}
 	if len(r.Configs) > 0 {
 		opts.Configs = append([]string(nil), r.Configs...)

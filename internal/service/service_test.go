@@ -1,0 +1,41 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestRequestStream: the stream override flows flag -> request ->
+// options -> envelope, and a malformed spec is a bad request before
+// any work runs.
+func TestRequestStream(t *testing.T) {
+	r := Request{Experiments: []string{"dynstream"}, Quick: true, Stream: "load=0.8"}
+	opts, err := r.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Stream != "load=0.8" {
+		t.Errorf("options stream = %q", opts.Stream)
+	}
+	env, err := Envelope(r, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(env, []byte(`"stream": "load=0.8"`)) {
+		t.Errorf("envelope does not record the stream override:\n%s", env)
+	}
+	// Omitted override: no stream key at all (wire-compatible with
+	// pre-stream consumers).
+	plain, err := Envelope(Request{Experiments: []string{"table1"}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte(`"stream"`)) {
+		t.Errorf("empty stream override serialized:\n%s", plain)
+	}
+	r.Stream = "bogus=1"
+	if _, err := r.Options(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bad stream spec: err = %v, want ErrBadRequest", err)
+	}
+}
